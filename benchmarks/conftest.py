@@ -1,0 +1,27 @@
+"""Shared builders for the experiment benches.
+
+Each bench file regenerates one table or figure from the paper (see the
+experiment index in DESIGN.md).  Heavy simulations run once via
+``benchmark.pedantic(..., rounds=1)`` — the interesting output is the
+regenerated rows and the shape assertions, not the timing statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark fixture."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def emit():
+    """Print a regenerated table under a header (shows with ``-s``)."""
+
+    def _emit(title: str, body: str) -> None:
+        print(f"\n=== {title} ===")
+        print(body)
+
+    return _emit

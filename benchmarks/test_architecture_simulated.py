@@ -1,0 +1,123 @@
+"""E7b — the architecture comparison, simulated end to end.
+
+`test_architecture_energy.py` does the Table I arithmetic; this bench runs
+*both architectures* — the legacy radio relay and the final dual-GPRS
+deployment — for a simulated week and compares measured communication
+energy, delivery, and failure coupling.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.report import format_table
+from repro.core import Deployment, DeploymentConfig
+from repro.core.legacy import RadioRelayDeployment, RelayConfig
+from repro.sim.simtime import DAY
+
+DAYS = 7
+#: A daily volume the 2000 bps radio can actually carry (state-2-era).
+DAILY_BYTES = 1_200_000
+
+
+def run_relay():
+    relay = RadioRelayDeployment(RelayConfig(
+        seed=7,
+        base_daily_bytes=DAILY_BYTES,
+        reference_daily_bytes=DAILY_BYTES,
+        uplink="gprs",  # same uplink hardware as the final design
+    ))
+    relay.run_days(DAYS)
+    return relay
+
+
+def run_dual():
+    deployment = Deployment(DeploymentConfig(seed=7))
+    deployment.run_days(DAYS)
+    return deployment
+
+
+def dual_comms_energy_wh(deployment) -> float:
+    total = 0.0
+    for station in deployment.stations:
+        station.bus.sync()
+        total += station.bus.loads.get(f"{station.name}.gprs").energy_j / 3600.0
+    return total
+
+
+def test_simulated_energy_comparison(benchmark, emit):
+    def run():
+        relay = run_relay()
+        dual = run_dual()
+        relay_wh = relay.comms_energy_wh()
+        dual_wh = dual_comms_energy_wh(dual)
+        dual_mb = dual.server.received_bytes() / 1e6
+        relay_mb = relay.server.received_bytes(kind="relay") / 1e6
+        return relay_wh, dual_wh, relay_mb, dual_mb
+
+    relay_wh, dual_wh, relay_mb, dual_mb = run_once(benchmark, run)
+    relay_per_mb = relay_wh / max(relay_mb, 0.01)
+    dual_per_mb = dual_wh / max(dual_mb, 0.01)
+    # The paper's twofold claim, now measured rather than computed.
+    assert relay_per_mb >= 2.0 * dual_per_mb
+    emit(
+        "Section II (simulated) — communication energy per delivered MB",
+        format_table(
+            ["Architecture", "Comms energy (Wh/wk)", "Delivered (MB/wk)", "Wh/MB"],
+            [
+                ("radio relay (Norway design)", round(relay_wh, 1), round(relay_mb, 1),
+                 round(relay_per_mb, 2)),
+                ("dual GPRS (final design)", round(dual_wh, 1), round(dual_mb, 1),
+                 round(dual_per_mb, 2)),
+            ],
+        ),
+    )
+
+
+def test_simulated_failure_coupling(benchmark, emit):
+    """Kill the reference in both architectures mid-deployment."""
+
+    def run():
+        relay = RadioRelayDeployment(RelayConfig(
+            seed=8, base_daily_bytes=DAILY_BYTES, reference_daily_bytes=DAILY_BYTES))
+        relay.run_days(3)
+        relay.fail_reference()
+        relay_before = relay.delivered_bytes()
+        relay.run_days(4)
+        relay_after = relay.delivered_bytes()
+
+        dual = Deployment(DeploymentConfig(seed=8))
+        dual.run_days(3)
+        dual.reference.bus.battery.soc = 0.0
+        dual.reference.bus.sync()
+        dual_before = dual.server.received_bytes(station="base")
+        dual.run_days(4)
+        dual_after = dual.server.received_bytes(station="base")
+        return (relay_before, relay_after), (dual_before, dual_after)
+
+    (relay_before, relay_after), (dual_before, dual_after) = run_once(benchmark, run)
+    # Relay: the base goes silent the moment the reference dies.
+    assert relay_after == relay_before
+    # Dual GPRS: base data keeps flowing.
+    assert dual_after > dual_before
+    emit(
+        "Section II (simulated) — base-station data after a reference failure",
+        format_table(
+            ["Architecture", "Delivered before (MB)", "Delivered 4 days later (MB)"],
+            [
+                ("radio relay", round(relay_before / 1e6, 2), round(relay_after / 1e6, 2)),
+                ("dual GPRS", round(dual_before / 1e6, 2), round(dual_after / 1e6, 2)),
+            ],
+        ),
+    )
+
+
+def test_radio_link_cannot_carry_state3_volume(benchmark):
+    """The capacity argument: a state-3 day (~2.2 MB) needs more airtime
+    than the entire 2-hour window at 2000 bps."""
+
+    def compute():
+        relay = RadioRelayDeployment(RelayConfig(seed=9, base_daily_bytes=2_200_000))
+        return relay.base.radio.transfer_time_s(2_200_000), relay.config.window_s
+
+    airtime, window = run_once(benchmark, compute)
+    assert airtime > window

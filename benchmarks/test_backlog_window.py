@@ -1,0 +1,171 @@
+"""E9 — Section VI: backlog vs the 2-hour window.
+
+Three claims regenerated:
+
+1. the dGPS serial backlog exceeds one 2-hour window after ~21 days in
+   state 3 (or ~259 days in state 2 — our rate calibration lands at ~252,
+   within a few percent of the paper's figure);
+2. a GPRS outage backlog clears "file by file ... over the course of a few
+   days";
+3. a single file bigger than one window's capacity livelocks the queue —
+   and executing remote commands before the data transfer (the paper's
+   proposed fix) keeps control of the station even then.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.report import format_table
+from repro.comms.link import Modem
+from repro.comms.transfer import drain_days, estimate_window_bytes, is_oversized, upload_files
+from repro.energy.battery import Battery
+from repro.energy.bus import PowerBus
+from repro.energy.components import GPRS_MODEM
+from repro.gps.files import NOMINAL_READING_BYTES
+from repro.hardware.storage import StoredFile
+from repro.sim import Simulation
+from repro.sim.simtime import DAY, HOUR
+
+SERIAL_BYTES_PER_S = 5760.0  # the GpsReceiver default
+WINDOW_S = 2 * HOUR
+
+
+def serial_crossover_days(readings_per_day: int) -> int:
+    """Days of dGPS backlog whose serial fetch first exceeds the window."""
+    days = 0
+    while True:
+        days += 1
+        backlog_bytes = days * readings_per_day * NOMINAL_READING_BYTES
+        if backlog_bytes / SERIAL_BYTES_PER_S > WINDOW_S:
+            return days
+
+
+def test_serial_backlog_crossovers(benchmark, emit):
+    def compute():
+        return serial_crossover_days(12), serial_crossover_days(1)
+
+    state3_days, state2_days = run_once(benchmark, compute)
+    # Paper: "approximately 21 days whilst in state 3 or 259 days in state 2".
+    assert 20 <= state3_days <= 22, state3_days
+    assert 240 <= state2_days <= 265, state2_days
+    rows = []
+    for days in (1, 7, 14, state3_days - 1, state3_days, 30):
+        fetch_s = days * 12 * NOMINAL_READING_BYTES / SERIAL_BYTES_PER_S
+        rows.append((days, round(fetch_s / 3600.0, 2), fetch_s > WINDOW_S))
+    emit(
+        "Section VI — dGPS serial backlog vs the 2-hour window (state 3)",
+        format_table(["Backlog (days)", "Fetch time (h)", "Exceeds window"], rows)
+        + f"\nCrossovers: state 3 at {state3_days} days (paper ~21), "
+        f"state 2 at {state2_days} days (paper ~259)",
+    )
+
+
+def test_gprs_outage_backlog_clears_over_days(benchmark, emit):
+    """Simulate an N-day GPRS outage, then daily windows until clear."""
+
+    def run():
+        sim = Simulation(seed=50)
+        bus = PowerBus(sim, Battery(soc=0.95), name="e9.power")
+        modem = Modem(sim, bus, "e9.modem", GPRS_MODEM)
+        outage_days = 8
+        daily_bytes = 12 * NOMINAL_READING_BYTES + 100_000
+        backlog = [
+            StoredFile(f"day{i:02d}/f{j}", NOMINAL_READING_BYTES, created=float(i * 100 + j))
+            for i in range(outage_days)
+            for j in range(13)
+        ]
+        per_day = []
+        day = 0
+        while backlog and day < 20:
+            day += 1
+            # each new day adds its own production too
+            backlog.extend(
+                StoredFile(f"new{day:02d}/f{j}", NOMINAL_READING_BYTES,
+                           created=float(10_000 + day * 100 + j))
+                for j in range(13)
+            )
+            def one_window(sim, files):
+                yield sim.process(modem.connect())
+                inner = sim.process(upload_files(sim, modem, files))
+                yield sim.timeout(WINDOW_S - modem.connect_s)
+                if inner.is_alive:
+                    inner.interrupt("watchdog")
+                result = yield inner
+                modem.disconnect()
+                return result
+
+            proc = sim.process(one_window(sim, list(backlog)))
+            sim.run(until=sim.now + DAY)
+            sent = set(proc.value.sent)
+            backlog = [f for f in backlog if f.name not in sent]
+            per_day.append((day, len(sent), len(backlog)))
+        return per_day
+
+    per_day = run_once(benchmark, run)
+    # Cleared, and over multiple days, not one.
+    assert per_day[-1][2] == 0
+    assert 2 <= len(per_day) <= 10
+    # Strictly decreasing backlog: file-by-file progress every day.
+    remaining = [r for _d, _s, r in per_day]
+    assert all(b < a for a, b in zip(remaining, remaining[1:]))
+    emit(
+        "Section VI — clearing an 8-day GPRS outage backlog",
+        format_table(["Day", "Files sent", "Files remaining"], per_day),
+    )
+
+
+def test_oversized_file_livelock_and_fix(benchmark, emit):
+    """A single >window file at the queue head: no progress ever — unless
+    the engine knows the window budget and steps over it."""
+
+    def run():
+        sim = Simulation(seed=51)
+        bus = PowerBus(sim, Battery(soc=0.95), name="e9b.power")
+        modem = Modem(sim, bus, "e9b.modem", GPRS_MODEM)
+        capacity = estimate_window_bytes(modem, WINDOW_S)
+        huge = StoredFile("stuck.obs", int(capacity * 1.3), created=0.0)
+        rest = [StoredFile(f"f{i}", NOMINAL_READING_BYTES, created=float(i + 1))
+                for i in range(5)]
+
+        outcomes = {}
+        for label, skip in (("deployed", False), ("fixed", True)):
+            sent_total = []
+            for _day in range(3):
+                def one_window(sim):
+                    yield sim.process(modem.connect())
+                    inner = sim.process(
+                        upload_files(sim, modem, [huge] + rest,
+                                     window_s=WINDOW_S, skip_oversized=skip)
+                    )
+                    yield sim.timeout(WINDOW_S)
+                    if inner.is_alive:
+                        inner.interrupt("watchdog")
+                    result = yield inner
+                    modem.disconnect()
+                    return result
+
+                proc = sim.process(one_window(sim))
+                sim.run(until=sim.now + DAY)
+                sent_total.extend(proc.value.sent)
+            outcomes[label] = (sent_total, proc.value.oversized)
+        return capacity, outcomes
+
+    capacity, outcomes = run_once(benchmark, run)
+    deployed_sent, deployed_oversized = outcomes["deployed"]
+    fixed_sent, fixed_oversized = outcomes["fixed"]
+    # Deployed behaviour: livelock — three days, zero files delivered.
+    assert deployed_sent == []
+    assert deployed_oversized == "stuck.obs"
+    # With the mitigation, everything else flows and the fault is flagged.
+    assert sorted(set(fixed_sent)) == [f"f{i}" for i in range(5)]
+    assert fixed_oversized == "stuck.obs"
+    emit(
+        "Section VI — oversized-file livelock",
+        format_table(
+            ["Variant", "Files delivered in 3 days", "Oversized file flagged"],
+            [
+                ("deployed (attempt head of queue)", len(deployed_sent), deployed_oversized),
+                ("fixed (skip + flag)", len(set(fixed_sent)), fixed_oversized),
+            ],
+        ),
+    )

@@ -1,0 +1,99 @@
+"""E6 — Section III battery arithmetic: 5 days continuous vs 117 days duty-cycled.
+
+"The GPS device uses 3.6W of power[;] use would deplete 36AH of batteries
+in 5 days, where as in state 3 ... the dGPS unit would deplete the reserves
+in 117 days (for simplicity these figures do not include the consumption of
+any other component of the system)."
+
+Regenerated both analytically and empirically (a simulated day of state-3
+dGPS duty cycling on the power bus).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.report import format_table
+from repro.core.power_policy import PowerPolicy, PowerState
+from repro.energy.battery import Battery
+from repro.energy.bus import PowerBus
+from repro.energy.components import GPS_RECEIVER
+from repro.gps.receiver import GpsReceiver
+from repro.sim import Simulation
+from repro.sim.simtime import DAY, HOUR
+
+
+def analytic_table():
+    policy = PowerPolicy()
+    battery = Battery()  # full 36 Ah
+    rows = []
+    rows.append(("continuous", 24.0, battery.lifetime_days(GPS_RECEIVER.power_w)))
+    for state in (PowerState.S3, PowerState.S2, PowerState.S1):
+        daily_j = policy.daily_gps_energy_j(state)
+        mean_w = daily_j / DAY
+        hours_per_day = (
+            policy.spec(state).gps_readings_per_day * policy.gps_reading_duration_s / 3600.0
+        )
+        rows.append((f"state {int(state)}", hours_per_day, battery.lifetime_days(mean_w)))
+    return rows
+
+
+def test_paper_lifetime_pair(benchmark, emit):
+    rows = run_once(benchmark, analytic_table)
+    by_name = {name: days for name, _h, days in rows}
+    assert by_name["continuous"] == pytest.approx(5.0)
+    assert by_name["state 3"] == pytest.approx(117.0, rel=1e-9)
+    assert by_name["state 2"] == pytest.approx(117.0 * 12, rel=1e-9)
+    assert by_name["state 1"] == float("inf")
+    emit(
+        "Section III — days to deplete 36 Ah on the dGPS alone",
+        format_table(
+            ["Regime", "GPS on-time (h/day)", "Battery lifetime (days)"],
+            [(n, round(h, 3), d if d != float("inf") else None) for n, h, d in rows],
+        ),
+    )
+
+
+def test_empirical_state3_daily_energy(benchmark):
+    """A simulated state-3 day must draw exactly the analytic GPS energy."""
+
+    def run():
+        sim = Simulation(seed=30)
+        bus = PowerBus(sim, Battery(soc=1.0), name="e6.power")
+        gps = GpsReceiver(sim, bus, name="e6.gps", position_fn=lambda t: 0.0)
+        policy = PowerPolicy()
+
+        def schedule(sim):
+            for hour in policy.gps_hours(PowerState.S3):
+                yield sim.timeout(max(0.0, hour * HOUR - sim.now))
+                yield sim.process(gps.take_reading(policy.gps_reading_duration_s))
+
+        sim.process(schedule(sim))
+        sim.run_days(1)
+        bus.sync()
+        return bus.loads.get("e6.gps").energy_j
+
+    measured_j = run_once(benchmark, run)
+    expected_j = PowerPolicy().daily_gps_energy_j(PowerState.S3)
+    assert measured_j == pytest.approx(expected_j, rel=1e-6)
+    # and therefore the battery would last 117 days on this load:
+    battery_j = Battery().config.capacity_j
+    assert battery_j / measured_j == pytest.approx(117.0, rel=1e-6)
+
+
+def test_continuous_gps_empirical_five_days(benchmark):
+    """Leave the dGPS recording full-time (the [12]-style regime): the bank
+    is flat on day five."""
+
+    def run():
+        sim = Simulation(seed=31)
+        bus = PowerBus(sim, Battery(soc=1.0), name="e6c.power")
+        bus.add_load("gps", GPS_RECEIVER.power_w)
+        bus.loads.switch_on("gps")
+        brownouts = []
+        bus.on_brownout.append(lambda: brownouts.append(sim.now))
+        sim.run_days(7)
+        return brownouts
+
+    brownouts = run_once(benchmark, run)
+    assert len(brownouts) == 1
+    assert brownouts[0] / DAY == pytest.approx(5.0, rel=0.01)

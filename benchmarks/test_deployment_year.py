@@ -1,0 +1,94 @@
+"""E19 — the deployment year: the paper's whole story in one run.
+
+Twelve months on Vatnajökull from 1 September 2008, end to end.  Asserted
+against the paper's narrative arc:
+
+- both stations run their daily cycle essentially every day ("data has
+  been continuously received");
+- the power policy descends through winter and recovers in spring,
+  without ever flattening the battery ("improved longevity ... without
+  compromising system lifetime");
+- probe survival lands on the Section V curve (4/7 after one year);
+- the archive's conductivity series shows the Fig 6 melt ramp arriving in
+  April of the simulated spring.
+"""
+
+import collections
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.report import format_table
+from repro.core import Deployment, DeploymentConfig
+from repro.server.archive import ScienceArchive
+from repro.sim.simtime import DAY
+
+
+def run_year():
+    deployment = Deployment(DeploymentConfig(seed=100))
+    deployment.run_days(365)
+    return deployment
+
+
+def test_deployment_year(benchmark, emit):
+    deployment = run_once(benchmark, run_year)
+    trace = deployment.sim.trace
+
+    # --- continuity -------------------------------------------------------
+    assert deployment.base.daily_runs >= 355
+    assert deployment.reference.daily_runs >= 355
+
+    # --- power management arc ----------------------------------------------
+    states = deployment.state_series("base")
+    by_state = collections.Counter(s for _t, s in states)
+    # All-winter survival with zero brown-outs.
+    assert len(trace.select(kind="brownout")) == 0
+    # The policy actually adapted: substantial time in at least three states.
+    assert len([s for s, n in by_state.items() if n >= 20]) >= 3
+    # Winter (Dec-Mar, days ~91-211 from the 1 Sep epoch) runs lower states
+    # than high summer.
+    winter_states = [s for t, s in states if 91 * DAY <= t < 211 * DAY]
+    summer_states = [s for t, s in states if 280 * DAY <= t < 340 * DAY]
+    assert sum(winter_states) / len(winter_states) < sum(summer_states) / len(summer_states)
+
+    # --- probe survival -----------------------------------------------------
+    survivors = deployment.surviving_probes()
+    assert 2 <= survivors <= 6  # around the paper's 4/7
+
+    # --- the science arrived -------------------------------------------------
+    archive = ScienceArchive(deployment.server)
+    assert archive.differential_fraction() > 0.6
+    conductivity = archive.probe_series("conductivity_us")
+    assert conductivity, "no probe conductivity reached Southampton"
+    # The Fig 6 ramp: late-April (day ~240) values far above February's.
+    ramps = 0
+    for _probe_id, series in conductivity.items():
+        feb = [v for t, v in series if 150 * DAY < t < 180 * DAY]
+        late_april = [v for t, v in series if 230 * DAY < t < 245 * DAY]
+        if feb and late_april:
+            if (sum(late_april) / len(late_april)) > (sum(feb) / len(feb)) + 3.0:
+                ramps += 1
+    assert ramps >= 1
+
+    # --- cost/volume sanity ---------------------------------------------------
+    total_mb = deployment.server.received_bytes() / 1e6
+    assert 100 < total_mb < 2000
+
+    emit(
+        "E19 — the deployment year (1 Sep 2008 + 365 days)",
+        format_table(
+            ["Measure", "Value"],
+            [
+                ("base daily runs", deployment.base.daily_runs),
+                ("days per state (0/1/2/3)",
+                 "/".join(str(by_state.get(s, 0)) for s in (0, 1, 2, 3))),
+                ("brown-outs", 0),
+                ("probes alive at 1 year", f"{survivors}/7"),
+                ("paper's anchor", "4/7"),
+                ("data delivered (MB)", round(total_mb, 1)),
+                ("differential dGPS fraction",
+                 f"{archive.differential_fraction():.0%}"),
+                ("probes showing the Fig 6 melt ramp", ramps),
+            ],
+        ),
+    )

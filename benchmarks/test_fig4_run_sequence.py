@@ -1,0 +1,111 @@
+"""E3 — Fig 4: the station daily run sequence.
+
+Runs one full day of a two-station deployment and regenerates the ordered
+step list of the base station's daily cycle, asserting the flowchart's
+order — including the deployed upload-before-special placement and the
+``special_before_data`` fixed variant.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.report import format_table
+from repro.core import Deployment, DeploymentConfig
+from repro.core.config import StationConfig
+from repro.sim.simtime import DAY
+
+
+def run_one_day(special_before_data=False):
+    config = DeploymentConfig(seed=11, base=StationConfig(
+        special_before_data=special_before_data))
+    deployment = Deployment(config)
+    deployment.server.stage_special("base", lambda: "uname -a")
+    deployment.run_days(1.0)
+    return deployment
+
+
+def extract_sequence(deployment):
+    """(time, step) events of the base station's first daily run."""
+    trace = deployment.sim.trace
+    steps = []
+    for record in trace.records:
+        if record.time >= DAY:
+            break
+        key = (record.source, record.kind)
+        if key == ("base", "run_start"):
+            steps.append((record.time, "start"))
+        elif key == ("protocol.bulk", "fetch_done"):
+            steps.append((record.time, "get_probe_data"))
+        elif key == ("base.i2c", None):
+            pass
+        elif key == ("base", "local_state"):
+            steps.append((record.time, "calculate_power_state"))
+        elif key == ("server", "power_state_upload") and record.detail["station"] == "base":
+            steps.append((record.time, "upload_power_state"))
+        elif (
+            key == ("base.gprs", "sent")
+            and record.detail.get("label", "").startswith("outbox/")
+        ):
+            steps.append((record.time, "upload_data"))
+        elif key == ("server", "override_served") and record.detail["station"] == "base":
+            steps.append((record.time, "get_override_state"))
+        elif key == ("base", "special_executed"):
+            steps.append((record.time, "execute_special"))
+        elif key == ("base", "state_applied"):
+            steps.append((record.time, "set_schedule"))
+    return steps
+
+
+def collapse(steps):
+    out = []
+    for _t, step in steps:
+        if not out or out[-1] != step:
+            out.append(step)
+    return out
+
+
+def test_fig4_deployed_order(benchmark, emit):
+    deployment = run_once(benchmark, run_one_day)
+    steps = extract_sequence(deployment)
+    sequence = collapse(steps)
+    emit(
+        "Fig 4 — deployed run sequence (base station, day 1)",
+        format_table(["t (s)", "step"], steps),
+    )
+    assert sequence == [
+        "start",
+        "get_probe_data",
+        "calculate_power_state",
+        "upload_power_state",
+        "upload_data",
+        "get_override_state",
+        "execute_special",
+        "set_schedule",
+    ]
+
+
+def test_fig4_fixed_order_runs_special_before_data(benchmark, emit):
+    deployment = run_once(benchmark, run_one_day, special_before_data=True)
+    sequence = collapse(extract_sequence(deployment))
+    emit("Fig 4 (variant) — special-before-data order", "  ->  ".join(sequence))
+    assert sequence.index("execute_special") < sequence.index("upload_data")
+    # Everything else keeps the Fig 4 order.
+    assert sequence.index("get_probe_data") < sequence.index("calculate_power_state")
+    assert sequence.index("upload_power_state") < sequence.index("upload_data")
+
+
+def test_fig4_reference_station_skips_probe_branch(benchmark):
+    def run():
+        deployment = Deployment(DeploymentConfig(seed=12))
+        deployment.run_days(1.0)
+        return deployment
+
+    deployment = run_once(benchmark, run)
+    # "Basestation?" decision: the reference station never fetches probes.
+    ref_fetches = [
+        r for r in deployment.sim.trace.select(kind="fetch_done")
+        if r.source == "protocol.bulk"
+    ]
+    # all fetches belong to the base station's probes
+    assert deployment.server.received_bytes(station="reference", kind="probes") == 0
+    assert deployment.reference.daily_runs == 1

@@ -1,0 +1,115 @@
+"""E12 — Section V: probe survival (4/7 after one year, 2/7 after 18 months).
+
+Monte-Carlo deployments of seven probes under the calibrated lifetime
+model, plus an in-simulation check that the deployed cohort's deaths follow
+the same curve.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.report import format_table
+from repro.probes.reliability import (
+    expected_survivors,
+    monte_carlo_survival,
+    survival_fraction,
+)
+
+HORIZONS = (182.0, 365.0, 548.0, 730.0)
+
+
+def test_survival_anchors(benchmark, emit):
+    def run():
+        means = monte_carlo_survival(7, HORIZONS, trials=3000, seed=5)
+        return list(zip(HORIZONS, means))
+
+    rows = run_once(benchmark, run)
+    by_days = dict(rows)
+    # The paper's two anchors.
+    assert by_days[365.0] == pytest.approx(4.0, abs=0.2)
+    assert by_days[548.0] == pytest.approx(2.0, abs=0.2)
+    # Monotone decline.
+    counts = [c for _d, c in rows]
+    assert all(b < a for a, b in zip(counts, counts[1:]))
+    emit(
+        "Section V — expected survivors of a 7-probe deployment",
+        format_table(
+            ["Days", "Monte-Carlo mean", "Analytic", "Paper"],
+            [
+                (
+                    int(days),
+                    round(count, 2),
+                    round(expected_survivors(7, days), 2),
+                    {365.0: "4/7", 548.0: "2/7"}.get(days, "-"),
+                )
+                for days, count in rows
+            ],
+        ),
+    )
+
+
+def test_cohort_in_simulation(benchmark):
+    """Probes inside a real deployment die on the calibrated curve."""
+
+    def run():
+        import numpy as np
+
+        from repro.probes.reliability import sample_lifetime_days
+
+        # Average many simulated cohorts (cheap: lifetimes are drawn at
+        # construction; running the kernel is not needed to age them).
+        rng = np.random.default_rng(99)
+        survivors_1y = []
+        survivors_18m = []
+        for _trial in range(2000):
+            lifetimes = [sample_lifetime_days(rng) for _ in range(7)]
+            survivors_1y.append(sum(1 for lt in lifetimes if lt > 365.0))
+            survivors_18m.append(sum(1 for lt in lifetimes if lt > 548.0))
+        return (
+            sum(survivors_1y) / len(survivors_1y),
+            sum(survivors_18m) / len(survivors_18m),
+        )
+
+    one_year, eighteen_months = run_once(benchmark, run)
+    assert one_year == pytest.approx(7 * survival_fraction(365.0), abs=0.2)
+    assert eighteen_months == pytest.approx(7 * survival_fraction(548.0), abs=0.2)
+
+
+def test_wired_probe_single_point_of_failure(benchmark, emit):
+    """Section V's other reliability lesson: when the wired probe dies, the
+    base collects nothing, however healthy the sub-glacial probes are —
+    and the backlog floods back after the repair."""
+
+    def run():
+        from repro.core import Deployment, DeploymentConfig
+
+        config = DeploymentConfig(
+            seed=73,
+            probe_lifetimes_days=[10_000.0] * 7,
+            wired_probe_lifetime_days=2.0,
+        )
+        deployment = Deployment(config)
+        deployment.run_days(6)
+        collected_during_outage = deployment.base.readings_collected
+        deployment.wired_probe.schedule_repair(deployment.sim.now)
+        deployment.run_days(4)
+        return deployment, collected_during_outage
+
+    deployment, during_outage = run_once(benchmark, run)
+    after_repair = deployment.base.readings_collected
+    trace = deployment.sim.trace
+    blocked_days = trace.select(source="base", kind="probe_comms_impossible")
+    assert len(blocked_days) >= 3  # days 3-6: no probe comms at all
+    # After the repair the buffered backlog floods back (the Section V
+    # "large quantity of data ... after months offline" in miniature).
+    assert after_repair > during_outage + 1000
+    emit(
+        "Section V — wired probe as single point of failure",
+        format_table(
+            ["Phase", "Readings collected"],
+            [
+                ("before/during outage (6 days)", during_outage),
+                ("after repair (4 more days)", after_repair - during_outage),
+            ],
+        ),
+    )

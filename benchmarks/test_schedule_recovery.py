@@ -1,0 +1,113 @@
+"""E11 — Section IV: automatic schedule resetting after total exhaustion.
+
+Starves the base station to a brown-out (RAM schedule and RTC lost),
+recharges it, and verifies the full recovery pipeline: RTC-untrusted
+detection, GPS time fix, schedule rewritten for state 0, then normal
+operation resuming on later days.  A GPS-blackout variant exercises the
+sleep-a-day-and-retry path, and an NTP variant the paper's proposed
+fallback.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.report import format_table
+from repro.core import Deployment, DeploymentConfig
+from repro.core.config import StationConfig
+from repro.sim.simtime import DAY
+
+
+def run_exhaustion_cycle(ntp_fallback=False, gps_blackout_days=0, seed=70):
+    base = StationConfig(solar_w=0.0, wind_w=0.0, initial_soc=0.18,
+                         ntp_fallback=ntp_fallback)
+    deployment = Deployment(DeploymentConfig(seed=seed, base=base))
+    deployment.run_days(1)
+    # Compressed winter: a stuck load flattens the battery.
+    deployment.base.bus.add_load("bench.leak", 15.0)
+    deployment.base.bus.loads.switch_on("bench.leak")
+    deployment.run_days(6)
+    trace = deployment.sim.trace
+    brownout_t = trace.select(source="base.power", kind="brownout")[0].time
+
+    if gps_blackout_days:
+        real = deployment.base.gps.satellites_visible
+        deployment.base.gps.satellites_visible = lambda t: 0
+
+        def restore():
+            deployment.base.gps.satellites_visible = real
+
+        deployment.sim.call_at(
+            deployment.sim.now + (1 + gps_blackout_days) * DAY, restore
+        )
+
+    # Spring: recharge the battery (field rescue / returning sun).
+    deployment.base.bus.battery.soc = 0.6
+    deployment.base.bus.sync()
+    deployment.run_days(4 + gps_blackout_days)
+    return deployment, brownout_t
+
+
+def test_recovery_timeline(benchmark, emit):
+    deployment, brownout_t = run_once(benchmark, run_exhaustion_cycle)
+    trace = deployment.sim.trace
+
+    resets = trace.select(source="base.msp430.rtc", kind="rtc_reset")
+    untrusted = trace.select(source="base", kind="rtc_untrusted")
+    recovered = trace.select(source="base", kind="clock_recovered")
+    recovery_edge = trace.select(source="base.power", kind="recovery")
+
+    assert len(resets) == 1 and resets[0].time == pytest.approx(brownout_t, abs=1.0)
+    assert len(recovery_edge) == 1
+    assert untrusted and untrusted[0].time > recovery_edge[0].time
+    assert recovered and recovered[0].time > untrusted[0].time
+    # Clock correct again.
+    assert abs(deployment.base.msp.rtc.error_seconds()) < 1.0
+    # Restarted in state 0, then resumed daily running.
+    states_after = [s for t, s in deployment.state_series("base") if t > brownout_t]
+    assert states_after[0] == 0
+    assert deployment.base.daily_runs >= 2
+
+    rows = [
+        ("brown-out (RAM + RTC lost)", round(brownout_t / DAY, 2)),
+        ("charging recovered", round(recovery_edge[0].time / DAY, 2)),
+        ("RTC distrust detected", round(untrusted[0].time / DAY, 2)),
+        ("clock restored from GPS", round(recovered[0].time / DAY, 2)),
+    ]
+    emit("Section IV — exhaustion-to-recovery timeline (days)", format_table(
+        ["Event", "Day"], rows))
+
+
+def test_gps_blackout_sleeps_a_day_and_retries(benchmark, emit):
+    """'If the system cannot set the time using GPS then the system will
+    sleep for a day and try again.'"""
+    deployment, _brownout_t = run_once(benchmark, run_exhaustion_cycle,
+                                       gps_blackout_days=2, seed=71)
+    trace = deployment.sim.trace
+    failures = trace.select(source="base", kind="clock_recovery_failed")
+    recovered = trace.select(source="base", kind="clock_recovered")
+    assert len(failures) >= 1  # tried during the blackout
+    assert len(recovered) == 1  # eventually succeeded
+    assert recovered[0].time > failures[-1].time
+    gaps = [round((b.time - a.time) / DAY, 2) for a, b in zip(failures, failures[1:])]
+    for gap in gaps:
+        assert gap == pytest.approx(1.0, abs=0.1)  # daily retries
+    emit(
+        "Section IV — retry cadence under GPS blackout",
+        format_table(
+            ["Attempt", "Outcome", "Day"],
+            [(i + 1, "failed", round(r.time / DAY, 2)) for i, r in enumerate(failures)]
+            + [(len(failures) + 1, "recovered", round(recovered[0].time / DAY, 2))],
+        ),
+    )
+
+
+def test_ntp_fallback_recovers_without_gps(benchmark):
+    """The paper's future-work NTP fallback, exercised end-to-end."""
+    deployment, _brownout_t = run_once(
+        benchmark, run_exhaustion_cycle, ntp_fallback=True,
+        gps_blackout_days=3, seed=72,
+    )
+    trace = deployment.sim.trace
+    ntp = trace.select(source="base", kind="ntp_fix")
+    assert len(ntp) >= 1
+    assert abs(deployment.base.msp.rtc.error_seconds()) < 1.0

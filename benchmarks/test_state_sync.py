@@ -1,0 +1,129 @@
+"""E10 — Section III: state synchronisation through the server.
+
+"As long as the time variation in the stations is less than the time it
+takes for the station which is ahead to upload its data then any changes
+will be reflected the same day.  If the variation in time is greater than
+this then there will be a one day lag."
+
+The bench runs the real two-station deployment with configurable RTC skew
+and measures how many days the base station takes to adopt the reference
+station's lower state.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.report import format_table
+from repro.core import Deployment, DeploymentConfig, PowerState
+from repro.core.config import StationConfig, reference_defaults
+from repro.sim.simtime import DAY
+
+
+def convergence_days(skew_s: float, seed: int = 60) -> int:
+    """Day on which the base adopts a reference state change made on day 2.
+
+    Both stations run healthily in state 3 for two days (so the server
+    knows them and the base's daily upload carries a full 12-reading dGPS
+    batch, ~2 MB ~ 50 GPRS minutes).  On day 2 the reference's policy is
+    pinned to state 1; whether the base reflects that the *same* day
+    depends on whether the reference (running ``skew_s`` late) has
+    uploaded its new state before the base — still busy uploading data —
+    asks for its override.  This is exactly the paper's "time it takes for
+    the station which is ahead to upload its data" window.
+    """
+    from benchmarks.test_policy_ablation import pinned_policy
+    from repro.core.power_policy import PowerState
+
+    reference = reference_defaults()
+    # This bench isolates clock-skew timing; disable random GPRS outages
+    # and the daily GPS clock discipline (which would simply repair the
+    # injected skew — the correct fix, but not the effect under study).
+    reference.gprs_outage_probability = 0.0
+    reference.gprs_summer_outage_probability = 0.0
+    reference.daily_rtc_sync = False
+    base = StationConfig(rtc_drift_ppm=0.0,
+                         gprs_outage_probability=0.0,
+                         gprs_summer_outage_probability=0.0,
+                         daily_rtc_sync=False)
+    config = DeploymentConfig(seed=seed, base=base, reference=reference)
+    deployment = Deployment(config)
+    # The reference's clock runs late by the skew.
+    deployment.reference.msp.rtc.set_from_true_time(offset_s=-skew_s)
+    # On day 2, two hours before the window, the reference's state drops.
+    deployment.sim.call_at(
+        2 * DAY + 9 * 3600.0,
+        lambda: setattr(deployment.reference, "policy", pinned_policy(PowerState.S1)),
+    )
+    deployment.run_days(5)
+    for t, state in deployment.state_series("base"):
+        if state <= 1:
+            return int(t // DAY)
+    return -1
+
+
+def test_sync_skew_sweep(benchmark, emit):
+    def sweep():
+        rows = []
+        # Uploads take minutes; sweep skews either side of that.
+        for skew_s in (30.0, 120.0, 1800.0, 5400.0):
+            rows.append((skew_s, convergence_days(skew_s)))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    by_skew = dict(rows)
+    # Skew below the base's ~50-minute data-upload window: the reference's
+    # new state lands before the base asks for its override -> same day
+    # (day 2, when the change was made).
+    assert by_skew[30.0] == 2
+    assert by_skew[120.0] == 2
+    assert by_skew[1800.0] == 2
+    # Skew beyond the upload window (1.5 h late): one-day lag -> day 3.
+    assert by_skew[5400.0] == 3
+    emit(
+        "Section III — days for the base to adopt the reference's state",
+        format_table(["Clock skew (s)", "Convergence (days)"], rows),
+    )
+
+
+def test_min_rule_and_clamps_end_to_end(benchmark, emit):
+    """The server's min rule with the station-side floors, in vivo."""
+
+    def run():
+        deployment = Deployment(DeploymentConfig(seed=61))
+        deployment.set_manual_override(0)  # operator tries to force silence
+        deployment.run_days(3)
+        return deployment
+
+    deployment = run_once(benchmark, run)
+    states = [s for _t, s in deployment.state_series("base")]
+    # Floored at 1: never silenced remotely, but lowered from 3.
+    assert all(s == 1 for s in states[1:]) or states[-1] == 1
+    assert deployment.base.local_state is PowerState.S3
+    # Comms continued every day (state 1 still does GPRS).
+    assert deployment.base.daily_runs == 3
+    emit(
+        "Section III — remote force-to-0 is floored at state 1",
+        format_table(
+            ["Day", "Applied state"],
+            [(int(t // DAY), s) for t, s in deployment.state_series("base")],
+        ),
+    )
+
+
+def test_override_failure_falls_back_to_local(benchmark):
+    """Kill the GPRS network on override day: the station relies on its
+    local state and keeps its schedule."""
+
+    def run():
+        base = StationConfig(gprs_outage_probability=1.0,
+                             gprs_summer_outage_probability=1.0)
+        deployment = Deployment(DeploymentConfig(seed=62, base=base))
+        deployment.run_days(2)
+        return deployment
+
+    deployment = run_once(benchmark, run)
+    # No server contact at all...
+    assert deployment.server.power_states.report_for("base") is None
+    # ...yet the station still applied its locally-decided state.
+    states = [s for _t, s in deployment.state_series("base")]
+    assert states and states[-1] == int(deployment.base.local_state)

@@ -1,0 +1,67 @@
+"""E1 — Table I: characteristics of system components.
+
+Regenerates the paper's Table I rows (device, transfer rate, power) and the
+derived energy-per-megabyte figures that drive the Section II architecture
+argument.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.report import format_table
+from repro.energy.components import (
+    GPRS_MODEM,
+    RADIO_MODEM,
+    energy_per_megabyte_j,
+    table_i_rows,
+)
+
+#: Table I as printed: device -> (rate bps, power mW).
+PAPER_TABLE_I = {
+    "Gumstix": (None, 900.0),
+    "GPRS Modem": (5000.0, 2640.0),
+    "Radio Modem": (2000.0, 3960.0),
+    "GPS": (None, 3600.0),
+}
+
+
+def build_rows():
+    rows = []
+    for name, rate, power_mw in table_i_rows():
+        rows.append((name, rate, power_mw))
+    return rows
+
+
+def test_table1_rows_match_paper(benchmark, emit):
+    rows = run_once(benchmark, build_rows)
+    for name, rate, power_mw in rows:
+        paper_rate, paper_power = PAPER_TABLE_I[name]
+        assert rate == paper_rate, name
+        assert power_mw == pytest.approx(paper_power), name
+    emit(
+        "Table I — Characteristics of system components",
+        format_table(
+            ["Device", "Transfer Rate (bps)", "Power Consumption (mW)"],
+            rows,
+        ),
+    )
+
+
+def test_table1_derived_energy_per_megabyte(benchmark, emit):
+    def derive():
+        return {
+            spec.name: energy_per_megabyte_j(spec) for spec in (GPRS_MODEM, RADIO_MODEM)
+        }
+
+    per_mb = run_once(benchmark, derive)
+    # GPRS: (2.64 + 0.9) W x 1600 s = 5664 J/MB; radio: (3.96 + 0.9) x 4000 s.
+    assert per_mb["GPRS Modem"] == pytest.approx(5664.0)
+    assert per_mb["Radio Modem"] == pytest.approx(19440.0)
+    assert per_mb["Radio Modem"] / per_mb["GPRS Modem"] > 3.0
+    emit(
+        "Table I (derived) — energy to move one megabyte (incl. Gumstix)",
+        format_table(
+            ["Device", "J/MB", "Wh/MB"],
+            [(n, v, v / 3600.0) for n, v in per_mb.items()],
+        ),
+    )

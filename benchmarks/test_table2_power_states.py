@@ -1,0 +1,77 @@
+"""E2 — Table II: power states.
+
+Sweeps the daily-average battery voltage across the operating band and
+regenerates the power-state table: state entered, probe jobs, sensor
+readings, GPS readings/day, GPRS.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.report import format_table
+from repro.core.power_policy import POWER_STATE_TABLE, PowerPolicy, PowerState
+
+#: Table II as printed: state -> (threshold, probe, sensors, gps/day, gprs).
+PAPER_TABLE_II = {
+    3: (12.5, True, True, 12, True),
+    2: (12.0, True, True, 1, True),
+    1: (11.5, True, True, 0, True),
+    0: (None, True, True, 0, False),
+}
+
+
+def sweep_states():
+    policy = PowerPolicy()
+    rows = []
+    for tenth in range(105, 136):
+        voltage = tenth / 10.0
+        state = policy.state_for_voltage(voltage)
+        spec = policy.spec(state)
+        rows.append((voltage, int(state), spec.gps_readings_per_day, spec.gprs))
+    return rows
+
+
+def test_table2_rows_match_paper(benchmark, emit):
+    def build():
+        return {
+            int(state): (
+                spec.min_threshold_v,
+                spec.probe_jobs,
+                spec.sensor_readings,
+                spec.gps_readings_per_day,
+                spec.gprs,
+            )
+            for state, spec in POWER_STATE_TABLE.items()
+        }
+
+    table = run_once(benchmark, build)
+    assert table == PAPER_TABLE_II
+    emit(
+        "Table II — Power states",
+        format_table(
+            ["State", "Min Threshold (V)", "Probe jobs", "Sensor readings", "GPS", "GPRS"],
+            [
+                (s, t, "Yes" if p else "No", "Yes" if sr else "No",
+                 f"{g} per day" if g else "No", "Yes" if gp else "No")
+                for s, (t, p, sr, g, gp) in sorted(table.items(), reverse=True)
+            ],
+        ),
+    )
+
+
+def test_table2_voltage_sweep(benchmark, emit):
+    rows = run_once(benchmark, sweep_states)
+    # The sweep must step through exactly the four states at the printed
+    # thresholds, monotonically.
+    states = [state for _v, state, _g, _gp in rows]
+    assert states[0] == 0 and states[-1] == 3
+    assert all(b >= a for a, b in zip(states, states[1:]))
+    by_voltage = {v: s for v, s, _g, _gp in rows}
+    assert by_voltage[11.4] == 0
+    assert by_voltage[11.5] == 1
+    assert by_voltage[12.0] == 2
+    assert by_voltage[12.5] == 3
+    emit(
+        "Table II (sweep) — state vs daily-average voltage",
+        format_table(["Avg voltage (V)", "State", "GPS/day", "GPRS"], rows),
+    )

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Architecture shoot-out: the Norway radio relay vs dual GPRS.
+
+Section II of the paper weighs the legacy design — base station data
+relayed over a 466 MHz PPP link through the reference station — against
+giving each station its own GPRS modem.  This example runs *both*
+architectures for a week and prints the numbers behind the decision:
+energy per delivered megabyte, failure coupling, and the radio link's
+capacity problem.
+
+Run with::
+
+    python examples/architecture_comparison.py
+"""
+
+from repro.analysis.report import format_table
+from repro.core import Deployment, DeploymentConfig
+from repro.core.legacy import RadioRelayDeployment, RelayConfig
+
+DAYS = 7
+DAILY_BYTES = 1_200_000  # a volume the 2000 bps radio can actually move
+
+
+def main() -> None:
+    print(f"Running both architectures for {DAYS} days...\n")
+
+    relay = RadioRelayDeployment(RelayConfig(
+        seed=7, base_daily_bytes=DAILY_BYTES, reference_daily_bytes=DAILY_BYTES,
+        uplink="gprs",
+    ))
+    relay.run_days(DAYS)
+
+    dual = Deployment(DeploymentConfig(seed=7))
+    dual.run_days(DAYS)
+
+    dual_comms_wh = 0.0
+    for station in dual.stations:
+        station.bus.sync()
+        dual_comms_wh += station.bus.loads.get(f"{station.name}.gprs").energy_j / 3600.0
+    relay_wh = relay.comms_energy_wh()
+    relay_mb = relay.server.received_bytes(kind="relay") / 1e6
+    dual_mb = dual.server.received_bytes() / 1e6
+
+    print(format_table(
+        ["Architecture", "Comms energy (Wh)", "Delivered (MB)", "Wh/MB"],
+        [
+            ("radio relay (Norway design)", round(relay_wh, 1), round(relay_mb, 1),
+             round(relay_wh / max(relay_mb, 0.01), 2)),
+            ("dual GPRS (final design)", round(dual_comms_wh, 1), round(dual_mb, 1),
+             round(dual_comms_wh / max(dual_mb, 0.01), 2)),
+        ],
+        title=f"One week of communications",
+    ))
+
+    print("\nThe capacity problem: a state-3 day is ~2.2 MB;")
+    airtime_h = relay.base.radio.transfer_time_s(2_200_000) / 3600.0
+    print(f"  at 2000 bps that needs {airtime_h:.1f} h of airtime — the whole "
+          "2-hour window cannot hold it.")
+
+    print("\nFailure coupling: kill the reference station in both designs...")
+    relay.fail_reference()
+    relay_before = relay.delivered_bytes()
+    relay.run_days(3)
+    dual.reference.bus.battery.soc = 0.0
+    dual.reference.bus.sync()
+    dual_before = dual.server.received_bytes(station="base")
+    dual.run_days(3)
+    print(format_table(
+        ["Architecture", "Base data before (MB)", "3 days later (MB)"],
+        [
+            ("radio relay", round(relay_before / 1e6, 2),
+             round(relay.delivered_bytes() / 1e6, 2)),
+            ("dual GPRS", round(dual_before / 1e6, 2),
+             round(dual.server.received_bytes(station='base') / 1e6, 2)),
+        ],
+    ))
+    print("\nThe relay base went silent with the reference; the dual-GPRS base "
+          "kept reporting.")
+    print(f"PPP ambiguity cost this week: {relay.base.reconnect_hold_s_total / 60:.0f} "
+          "minutes of radio held powered after unexplained drops.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""A dGPS measurement campaign: ice velocity from differential GPS.
+
+The scientific payload of the deployment: simultaneous recordings at the
+moving base station and the fixed reference station, differenced to
+centimetre-level positions, revealing the glacier's velocity — including
+its summer speed-up and stick-slip events (refs [4, 5] of the paper).
+
+This example drives the receivers directly (the station machinery handles
+scheduling in the full deployment) to show the measurement chain and why
+the reference station matters.
+
+Run with::
+
+    python examples/dgps_campaign.py
+"""
+
+import datetime as dt
+
+from repro.analysis.ascii_plot import ascii_series
+from repro.analysis.report import format_table
+from repro.energy.battery import Battery
+from repro.energy.bus import PowerBus
+from repro.environment.glacier import GlacierModel
+from repro.gps.dgps import differential_solve, raw_solve, velocity_series
+from repro.gps.receiver import GpsReceiver
+from repro.sim import Simulation
+from repro.sim.simtime import DAY, from_datetime
+
+
+def main() -> None:
+    sim = Simulation(seed=3)
+    glacier = GlacierModel(seed=3)
+    base_bus = PowerBus(sim, Battery(soc=0.95), name="base.power")
+    ref_bus = PowerBus(sim, Battery(soc=0.95), name="ref.power")
+    base_gps = GpsReceiver(sim, base_bus, "base.gps",
+                           position_fn=glacier.surface_position_m, seed=1)
+    ref_gps = GpsReceiver(sim, ref_bus, "ref.gps", position_fn=lambda t: 0.0, seed=2)
+
+    # Jump to the melt season, when the interesting motion happens.
+    start = from_datetime(dt.datetime(2009, 6, 1, tzinfo=dt.timezone.utc))
+    sim.run(until=start)
+
+    days = 21
+    print(f"Recording {days} days of daily simultaneous dGPS readings (June 2009)...")
+    solutions, raw_solutions = [], []
+
+    def campaign(sim):
+        for _day in range(days):
+            base_proc = sim.process(base_gps.take_reading(307.7))
+            ref_proc = sim.process(ref_gps.take_reading(307.7))
+            yield sim.all_of([base_proc, ref_proc])
+            solutions.append(differential_solve(base_proc.value, ref_proc.value))
+            raw_solutions.append(raw_solve(base_proc.value))
+            yield sim.timeout(DAY - 307.7)
+
+    sim.process(campaign(sim))
+    sim.run(until=start + (days + 1) * DAY)
+
+    # Accuracy: differential vs raw against ground truth.
+    errors = []
+    for diff, raw in zip(solutions, raw_solutions):
+        truth = glacier.surface_position_m(diff.time)
+        errors.append((abs(diff.position_m - truth), abs(raw.position_m - truth)))
+    mean_diff = sum(e[0] for e in errors) / len(errors)
+    mean_raw = sum(e[1] for e in errors) / len(errors)
+    print(format_table(
+        ["Solution", "Mean position error (m)"],
+        [("differential (both stations)", round(mean_diff, 4)),
+         ("raw (base station alone)", round(mean_raw, 3))],
+        title="Why the reference station exists",
+    ))
+
+    velocities = velocity_series(solutions)
+    mean_v = sum(v for _t, v in velocities) / len(velocities)
+    fast_days = [round(v, 3) for _t, v in velocities if v > mean_v * 1.3]
+    print(f"\nMean ice velocity: {mean_v:.3f} m/day")
+    if fast_days:
+        print(f"Stick-slip candidates (>{mean_v * 1.3:.3f} m/day): {fast_days}")
+    print()
+    print(ascii_series(velocities, width=66, height=9,
+                       label="Daily ice velocity (m/day)"))
+
+    # The power price of the campaign (Table I arithmetic made concrete).
+    base_bus.sync()
+    gps_wh = base_bus.loads.get("base.gps").energy_j / 3600.0
+    print(f"\nEnergy spent by the base dGPS over {days} days: {gps_wh:.1f} Wh "
+          f"({gps_wh / days:.2f} Wh/day — the state-2 single-reading budget)")
+
+
+if __name__ == "__main__":
+    main()

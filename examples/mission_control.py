@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Mission control: the Southampton end of a troubled month.
+
+Runs a deployment in which things go wrong — a starving base battery,
+a GPRS data budget, a code release — with the automated operations console
+watching.  Prints the alerts it raised, the override it applied, and the
+final mission report.
+
+Run with::
+
+    python examples/mission_control.py
+"""
+
+from repro.analysis.mission_report import mission_report
+from repro.analysis.report import format_table
+from repro.core import Deployment, DeploymentConfig
+from repro.core.config import StationConfig
+from repro.energy.battery import BatteryConfig
+from repro.server.deployment import CodeRelease
+from repro.server.operations import OperationsConsole
+from repro.sim.simtime import DAY
+
+
+def main() -> None:
+    # A base station heading for trouble: weak charging, small battery.
+    base = StationConfig(
+        solar_w=1.0, wind_w=0.0, initial_soc=0.9,
+        battery=BatteryConfig(capacity_ah=6.0),
+    )
+    deployment = Deployment(DeploymentConfig(seed=23, base=base))
+    console = OperationsConsole(
+        deployment.sim, deployment.server,
+        auto_override=True,
+        monthly_data_budget_mb=40.0,
+    )
+
+    print("Week 1: normal operations under the console's eye...")
+    deployment.run_days(7)
+
+    print("Publishing basestation.py v3 mid-deployment...")
+    console.push_release(CodeRelease("basestation.py", 3, "v3 control", 60_000))
+    deployment.run_days(14)
+
+    print("\nAlerts raised over three weeks:")
+    rows = [
+        (round(a.time / DAY, 1), a.station, a.kind, a.detail[:48])
+        for a in console.alerts
+    ]
+    if rows:
+        print(format_table(["Day", "Station", "Kind", "Detail"], rows[:15]))
+        if len(rows) > 15:
+            print(f"  ... and {len(rows) - 15} more")
+    else:
+        print("  none")
+
+    if console.override_actions:
+        print("\nAutomatic override actions:")
+        for time, state in console.override_actions[:8]:
+            action = f"held system at state {state}" if state is not None else "released hold"
+            print(f"  day {time / DAY:5.1f}: {action}")
+
+    print(f"\nRelease status: basestation.py -> {console.release_status('basestation.py')}")
+    print(f"Alert summary: {console.alerts_by_kind()}")
+
+    print("\n" + "=" * 72)
+    print(mission_report(deployment))
+
+
+if __name__ == "__main__":
+    main()

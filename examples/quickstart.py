@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: run a week of the Glacsweb Iceland deployment.
+
+Builds the full two-station deployment (on-ice base station with seven
+sub-glacial probes, café reference station, Southampton server), runs seven
+simulated days, and prints what the system did: power states, data volumes,
+probe collection, and the battery-voltage trace.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.analysis.ascii_plot import ascii_series
+from repro.analysis.report import format_table
+from repro.core import Deployment, DeploymentConfig
+from repro.sim.simtime import DAY
+
+
+def main() -> None:
+    deployment = Deployment(DeploymentConfig(seed=1))
+    print("Simulating 7 days on Vatnajökull (epoch: 1 Sep 2008)...")
+    deployment.run_days(7)
+
+    base, reference = deployment.base, deployment.reference
+    server = deployment.server
+
+    print()
+    print(
+        format_table(
+            ["Station", "Daily runs", "Power state", "Battery SoC",
+             "Gumstix on-time (min/day)", "GPRS cost"],
+            [
+                (
+                    station.name,
+                    station.daily_runs,
+                    int(station.effective_state),
+                    round(station.bus.battery.soc, 2),
+                    round(station.gumstix.total_on_time_s / 60.0 / 7.0, 1),
+                    round(station.modem.cost_total, 2),
+                )
+                for station in (base, reference)
+            ],
+            title="Station summary after one week",
+        )
+    )
+
+    print()
+    print(
+        format_table(
+            ["Kind", "Base (KB)", "Reference (KB)"],
+            [
+                (
+                    kind,
+                    round(server.received_bytes(station="base", kind=kind) / 1000.0, 1),
+                    round(server.received_bytes(station="reference", kind=kind) / 1000.0, 1),
+                )
+                for kind in ("gps", "probes", "sensors", "logs")
+            ],
+            title="Data received in Southampton",
+        )
+    )
+
+    print()
+    print(f"Probe readings collected by the base station: {base.readings_collected}")
+    print(f"Probes still alive: {deployment.surviving_probes()} / {len(deployment.probes)}")
+    print(f"dGPS readings taken: base={base.gps.readings_taken}, "
+          f"reference={reference.gps.readings_taken}")
+
+    print()
+    volts = deployment.voltage_series("base")
+    print(ascii_series(volts, width=72, height=10,
+                       label="Base-station battery voltage (V), 7 days"))
+
+    print()
+    states = deployment.state_series("base")
+    print("Power states applied:",
+          ", ".join(f"day {int(t // DAY)}: state {s}" for t, s in states))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""repro — reproduction of "Field deployment of low power high performance nodes".
+
+Martinez, Basford, Ellul, Clarke (ICDCS workshops 2010): the Glacsweb
+Gumsense base stations on Vatnajokull.  See :mod:`repro.core` for the
+paper's contribution and :class:`repro.core.Deployment` for the primary
+entry point; README.md for the architecture overview; DESIGN.md and
+EXPERIMENTS.md for the reproduction inventory and results.
+"""
+
+__version__ = "1.0.0"

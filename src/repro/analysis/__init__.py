@@ -1,0 +1,37 @@
+"""Analysis helpers: time series, dip detection, reports, ASCII plots.
+
+Post-processing used by the examples and the benchmark harness to turn
+simulation traces into the series and tables the paper's figures show.
+"""
+
+from repro.analysis.ascii_plot import ascii_series
+from repro.analysis.export import (
+    archive_snapshot_json,
+    multi_series_to_csv,
+    series_to_csv,
+    series_to_json,
+)
+from repro.analysis.report import format_table
+from repro.analysis.timeseries import (
+    daily_extremes,
+    detect_dips,
+    dip_intervals,
+    moving_average,
+    resample_mean,
+    time_of_daily_max,
+)
+
+__all__ = [
+    "archive_snapshot_json",
+    "ascii_series",
+    "daily_extremes",
+    "detect_dips",
+    "dip_intervals",
+    "format_table",
+    "moving_average",
+    "multi_series_to_csv",
+    "resample_mean",
+    "series_to_csv",
+    "series_to_json",
+    "time_of_daily_max",
+]

@@ -1,0 +1,51 @@
+"""Tiny dependency-free ASCII charts for the example scripts."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+def ascii_series(
+    series: Sequence[Tuple[float, float]],
+    width: int = 72,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """Render (time, value) samples as an ASCII scatter/line chart.
+
+    The x axis spans the series' time range, the y axis its value range;
+    each column shows the mean of the samples falling in it.
+    """
+    if not series:
+        return f"{label}: (no data)"
+    times = [t for t, _v in series]
+    values = [v for _t, v in series]
+    t_lo, t_hi = min(times), max(times)
+    v_lo, v_hi = min(values), max(values)
+    if t_hi == t_lo:
+        t_hi = t_lo + 1.0
+    if v_hi == v_lo:
+        v_hi = v_lo + 1.0
+
+    columns: List[List[float]] = [[] for _ in range(width)]
+    for time, value in series:
+        col = min(width - 1, int((time - t_lo) / (t_hi - t_lo) * width))
+        columns[col].append(value)
+
+    grid = [[" "] * width for _ in range(height)]
+    for col, bucket in enumerate(columns):
+        if not bucket:
+            continue
+        mean = sum(bucket) / len(bucket)
+        row = int((mean - v_lo) / (v_hi - v_lo) * (height - 1))
+        grid[height - 1 - row][col] = "*"
+
+    lines = []
+    if label:
+        lines.append(label)
+    lines.append(f"{v_hi:10.3f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{v_lo:10.3f} ┤" + "".join(grid[-1]))
+    lines.append(" " * 12 + f"{t_lo:.0f}s".ljust(width // 2) + f"{t_hi:.0f}s".rjust(width // 2))
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Data export: CSV and JSON renderings of archive series.
+
+The project's downstream consumers (glaciologists, the paper's co-authors)
+work from flat files; these helpers turn archive/series data into portable
+text without any I/O of their own — callers decide where bytes go.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+def series_to_csv(
+    series: Sequence[Tuple[float, float]],
+    value_name: str = "value",
+    time_name: str = "time_s",
+) -> str:
+    """Render a (time, value) series as CSV text with a header row."""
+    out = io.StringIO()
+    out.write(f"{time_name},{value_name}\r\n")
+    for time, value in series:
+        out.write(f"{time!r},{value!r}\r\n".replace("'", ""))
+    return out.getvalue()
+
+
+def multi_series_to_csv(
+    series_by_name: Dict[Any, Sequence[Tuple[float, float]]],
+    time_name: str = "time_s",
+) -> str:
+    """Merge several (time, value) series into one wide CSV.
+
+    Rows are the union of all timestamps; absent values render empty.
+    """
+    names = sorted(series_by_name, key=str)
+    by_time: Dict[float, Dict[Any, float]] = {}
+    for name in names:
+        for time, value in series_by_name[name]:
+            by_time.setdefault(time, {})[name] = value
+    out = io.StringIO()
+    out.write(",".join([time_name] + [str(n) for n in names]) + "\r\n")
+    for time in sorted(by_time):
+        row = [repr(time)]
+        for name in names:
+            value = by_time[time].get(name)
+            row.append("" if value is None else repr(value))
+        out.write(",".join(row) + "\r\n")
+    return out.getvalue()
+
+
+def series_to_json(
+    series: Sequence[Tuple[float, float]],
+    value_name: str = "value",
+    metadata: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Render a series as a JSON document with optional metadata."""
+    document = {
+        "metadata": metadata or {},
+        "columns": ["time_s", value_name],
+        "rows": [[time, value] for time, value in series],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def archive_snapshot_json(archive, stations: Sequence[str] = ("base", "reference")) -> str:
+    """A one-call JSON dump of the archive's main products."""
+    snapshot: Dict[str, Any] = {
+        "differential_fraction": archive.differential_fraction(),
+        "daily_velocity_m_per_day": archive.daily_velocity(),
+        "stick_slip_days": archive.stick_slip_days(),
+        "stations": {},
+        "probes": {
+            str(pid): len(values)
+            for pid, values in archive.probe_series("conductivity_us").items()
+        },
+    }
+    for station in stations:
+        snapshot["stations"][station] = {
+            "battery_daily_minima": archive.battery_daily_minima(station),
+            "battery_declining": archive.battery_declining(station),
+            "snow_burial_risk": archive.snow_burial_risk(station),
+        }
+    return json.dumps(snapshot, indent=2, sort_keys=True)

@@ -1,0 +1,116 @@
+"""Glaciological analysis: diurnal velocity and the stick-slip/pressure link.
+
+The project's science questions (paper §I): ice velocity "on both a
+diurnal and annual scale", and "the relationship of any 'stick-slip'
+motion to changes in water pressure".  These helpers answer both from the
+products the system actually delivers — dGPS solutions and probe pressure
+readings out of the Southampton archive.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.gps.dgps import DgpsSolution, velocity_series
+from repro.sim.simtime import DAY, fraction_of_day
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient (0.0 for degenerate inputs)."""
+    n = len(xs)
+    if n != len(ys) or n < 2:
+        return 0.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x <= 0 or var_y <= 0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+def diurnal_velocity_profile(
+    solutions: Sequence[DgpsSolution], bins: int = 12
+) -> List[Tuple[float, float]]:
+    """Mean velocity by time of day, from sub-daily solution pairs.
+
+    Returns ``(bin_centre_hour, mean_velocity_m_per_day)`` for every bin
+    that has data.  Needs a state-3-style cadence (several solutions per
+    day); averaging across many days beats down the per-interval dGPS
+    noise until the melt-season diurnal cycle emerges.
+    """
+    binned: Dict[int, List[float]] = {}
+    for time, velocity in velocity_series(solutions):
+        hour = fraction_of_day(time) * 24.0
+        index = min(bins - 1, int(hour / 24.0 * bins))
+        binned.setdefault(index, []).append(velocity)
+    return [
+        ((index + 0.5) * 24.0 / bins, sum(values) / len(values))
+        for index, values in sorted(binned.items())
+    ]
+
+
+def diurnal_amplitude(profile: Sequence[Tuple[float, float]]) -> float:
+    """Peak-to-trough velocity swing of a diurnal profile, m/day."""
+    if not profile:
+        return 0.0
+    values = [v for _h, v in profile]
+    return max(values) - min(values)
+
+
+def daily_means(series: Sequence[Tuple[float, float]]) -> Dict[int, float]:
+    """Per-day mean of a (time, value) series."""
+    byday: Dict[int, List[float]] = {}
+    for time, value in series:
+        byday.setdefault(int(time // DAY), []).append(value)
+    return {day: sum(values) / len(values) for day, values in byday.items()}
+
+
+def velocity_pressure_correlation(
+    daily_velocity: Sequence[Tuple[int, float]],
+    pressure_series: Sequence[Tuple[float, float]],
+) -> Tuple[float, int]:
+    """Correlate daily ice velocity with daily mean water pressure.
+
+    ``daily_velocity`` is ``(day_index, m/day)`` (as from
+    :meth:`~repro.server.archive.ScienceArchive.daily_velocity`);
+    ``pressure_series`` is raw (time, pressure) probe readings.  Returns
+    ``(pearson_r, paired_days)``.
+    """
+    pressure_by_day = daily_means(pressure_series)
+    xs, ys = [], []
+    for day, velocity in daily_velocity:
+        if day in pressure_by_day:
+            xs.append(pressure_by_day[day])
+            ys.append(velocity)
+    return pearson(xs, ys), len(xs)
+
+
+def slip_day_pressure_excess(
+    daily_velocity: Sequence[Tuple[int, float]],
+    pressure_series: Sequence[Tuple[float, float]],
+    sigma: float = 1.0,
+) -> Optional[float]:
+    """Mean pressure on fast days minus mean pressure on normal days.
+
+    "Fast" days exceed the velocity mean by ``sigma`` standard deviations
+    (candidate stick-slip days).  Returns ``None`` when there are no fast
+    days to compare.
+    """
+    if len(daily_velocity) < 3:
+        return None
+    values = [v for _d, v in daily_velocity]
+    mean = sum(values) / len(values)
+    std = (sum((v - mean) ** 2 for v in values) / len(values)) ** 0.5
+    threshold = mean + sigma * std
+    pressure_by_day = daily_means(pressure_series)
+    fast, normal = [], []
+    for day, velocity in daily_velocity:
+        if day not in pressure_by_day:
+            continue
+        (fast if velocity > threshold else normal).append(pressure_by_day[day])
+    if not fast or not normal:
+        return None
+    return sum(fast) / len(fast) - sum(normal) / len(normal)

@@ -1,0 +1,87 @@
+"""Time-series utilities for (time, value) samples.
+
+All functions take plain ``[(time_s, value), ...]`` lists — the format the
+trace helpers return — keeping the analysis layer decoupled from the
+simulation objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.sim.simtime import DAY, fraction_of_day
+
+Series = Sequence[Tuple[float, float]]
+
+
+def resample_mean(series: Series, bucket_s: float) -> List[Tuple[float, float]]:
+    """Mean value per fixed time bucket; buckets centred on their midpoint."""
+    if bucket_s <= 0:
+        raise ValueError("bucket_s must be > 0")
+    buckets: Dict[int, List[float]] = {}
+    for time, value in series:
+        buckets.setdefault(int(time // bucket_s), []).append(value)
+    return [
+        ((index + 0.5) * bucket_s, sum(values) / len(values))
+        for index, values in sorted(buckets.items())
+    ]
+
+
+def moving_average(series: Series, window: int) -> List[Tuple[float, float]]:
+    """Trailing moving average over ``window`` samples."""
+    if window <= 0:
+        raise ValueError("window must be > 0")
+    out: List[Tuple[float, float]] = []
+    values: List[float] = []
+    for time, value in series:
+        values.append(value)
+        if len(values) > window:
+            values.pop(0)
+        out.append((time, sum(values) / len(values)))
+    return out
+
+
+def daily_extremes(series: Series) -> List[Tuple[int, float, float]]:
+    """(day_index, min, max) per simulated day."""
+    days: Dict[int, List[float]] = {}
+    for time, value in series:
+        days.setdefault(int(time // DAY), []).append(value)
+    return [(day, min(vals), max(vals)) for day, vals in sorted(days.items())]
+
+
+def time_of_daily_max(series: Series) -> List[Tuple[int, float]]:
+    """(day_index, hour_of_day_of_maximum) per day.
+
+    Fig 5's diurnal structure: battery voltage peaks near midday.
+    """
+    days: Dict[int, Tuple[float, float]] = {}
+    for time, value in series:
+        day = int(time // DAY)
+        if day not in days or value > days[day][1]:
+            days[day] = (time, value)
+    return [(day, fraction_of_day(t) * 24.0) for day, (t, _v) in sorted(days.items())]
+
+
+def detect_dips(series: Series, depth: float, baseline_window: int = 5) -> List[float]:
+    """Times of local dips at least ``depth`` below the local baseline.
+
+    Used to find the Fig 5 voltage dips the duty-cycled dGPS causes.  A dip
+    is a sample more than ``depth`` below the trailing-average baseline,
+    collapsed so consecutive dip samples count once.
+    """
+    baseline = moving_average(series, baseline_window)
+    dips: List[float] = []
+    in_dip = False
+    for (time, value), (_bt, base) in zip(series, baseline):
+        if value < base - depth:
+            if not in_dip:
+                dips.append(time)
+                in_dip = True
+        else:
+            in_dip = False
+    return dips
+
+
+def dip_intervals(dip_times: Sequence[float]) -> List[float]:
+    """Gaps between consecutive dips, in hours."""
+    return [(b - a) / 3600.0 for a, b in zip(dip_times, dip_times[1:])]

@@ -1,0 +1,202 @@
+"""Command-line interface: run deployments and print reports.
+
+Usage::
+
+    repro-sim simulate --days 7 --seed 42
+    repro-sim simulate --days 30 --override 2 --no-wind
+    repro-sim science --days 14 --seed 3
+    repro-sim health --days 10
+
+(Equivalently ``python -m repro.cli ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import format_table
+from repro.core import Deployment, DeploymentConfig
+from repro.core.config import StationConfig
+from repro.server.archive import ScienceArchive
+from repro.sim.simtime import DAY
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Glacsweb Gumsense deployment simulator (Martinez et al., 2010)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--days", type=float, default=7.0, help="days to simulate")
+        p.add_argument("--seed", type=int, default=0, help="master random seed")
+        p.add_argument("--no-wind", action="store_true",
+                       help="disable the base station's wind turbine")
+        p.add_argument("--solar-w", type=float, default=None,
+                       help="override the base station's solar rating")
+        p.add_argument("--override", type=int, default=None, choices=(0, 1, 2, 3),
+                       help="server-side manual power-state override")
+
+    simulate = sub.add_parser("simulate", help="run a deployment and summarise")
+    common(simulate)
+
+    science = sub.add_parser("science", help="run, then print the dGPS/probe products")
+    common(science)
+
+    health = sub.add_parser("health", help="run, then print station-health indicators")
+    common(health)
+
+    report = sub.add_parser("report", help="run, then print the full mission report")
+    common(report)
+
+    export = sub.add_parser("export", help="run, then print archive data as CSV/JSON")
+    common(export)
+    export.add_argument("--format", choices=("csv", "json"), default="csv",
+                        help="output format")
+    export.add_argument("--what", choices=("velocity", "voltage", "snapshot"),
+                        default="velocity", help="which product to export")
+    return parser
+
+
+def _build_deployment(args) -> Deployment:
+    base = StationConfig()
+    if args.no_wind:
+        base.wind_w = 0.0
+    if args.solar_w is not None:
+        base.solar_w = args.solar_w
+    deployment = Deployment(DeploymentConfig(seed=args.seed, base=base))
+    if args.override is not None:
+        deployment.set_manual_override(args.override)
+    return deployment
+
+
+def _cmd_simulate(args) -> int:
+    deployment = _build_deployment(args)
+    deployment.run_days(args.days)
+    rows = []
+    for station in deployment.stations:
+        rows.append(
+            (
+                station.name,
+                station.daily_runs,
+                int(station.effective_state),
+                round(station.bus.battery.soc, 3),
+                round(deployment.server.received_bytes(station=station.name) / 1e6, 2),
+                round(station.modem.cost_total, 2),
+            )
+        )
+    print(format_table(
+        ["Station", "Runs", "State", "SoC", "Delivered (MB)", "GPRS cost"],
+        rows,
+        title=f"{args.days:g} simulated days (seed {args.seed})",
+    ))
+    print(f"\nProbes alive: {deployment.surviving_probes()}/{len(deployment.probes)}; "
+          f"readings collected: {deployment.base.readings_collected}")
+    return 0
+
+
+def _cmd_science(args) -> int:
+    deployment = _build_deployment(args)
+    deployment.run_days(args.days)
+    archive = ScienceArchive(deployment.server)
+    velocities = archive.daily_velocity()
+    print(format_table(
+        ["Day", "Ice velocity (m/day)"],
+        [(d, round(v, 4)) for d, v in velocities],
+        title="dGPS daily velocity (differential solutions)",
+    ))
+    print(f"\nDifferential solution fraction: {archive.differential_fraction():.0%}")
+    slips = archive.stick_slip_days()
+    print(f"Stick-slip candidate days: {slips if slips else 'none'}")
+    series = archive.probe_series("conductivity_us")
+    if series:
+        rows = [
+            (pid, len(values), round(values[-1][1], 2))
+            for pid, values in sorted(series.items())
+        ]
+        print()
+        print(format_table(["Probe", "Readings", "Latest conductivity (µS)"], rows,
+                           title="Sub-glacial probes"))
+    return 0
+
+
+def _cmd_health(args) -> int:
+    deployment = _build_deployment(args)
+    deployment.run_days(args.days)
+    archive = ScienceArchive(deployment.server)
+    rows = []
+    for station in ("base", "reference"):
+        minima = archive.battery_daily_minima(station)
+        rows.append(
+            (
+                station,
+                round(minima[-1][1], 2) if minima else None,
+                "yes" if archive.battery_declining(station) else "no",
+                "YES" if archive.snow_burial_risk(station) else "no",
+                "YES" if archive.enclosure_humidity_alert(station) else "no",
+            )
+        )
+    print(format_table(
+        ["Station", "Last daily-min V", "Battery declining", "Burial risk",
+         "Humidity alert"],
+        rows,
+        title=f"Station health after {args.days:g} days",
+    ))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.mission_report import mission_report
+
+    deployment = _build_deployment(args)
+    deployment.run_days(args.days)
+    print(mission_report(deployment))
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from repro.analysis.export import (
+        archive_snapshot_json,
+        series_to_csv,
+        series_to_json,
+    )
+
+    deployment = _build_deployment(args)
+    deployment.run_days(args.days)
+    archive = ScienceArchive(deployment.server)
+    if args.what == "snapshot":
+        print(archive_snapshot_json(archive))
+        return 0
+    if args.what == "velocity":
+        series = [(float(d) * 86400.0, v) for d, v in archive.daily_velocity()]
+        name = "velocity_m_per_day"
+    else:
+        series = archive.voltage_series("base")
+        name = "volts"
+    if args.format == "csv":
+        print(series_to_csv(series, value_name=name), end="")
+    else:
+        print(series_to_json(series, value_name=name,
+                             metadata={"seed": args.seed, "days": args.days}))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "science": _cmd_science,
+        "health": _cmd_health,
+        "report": _cmd_report,
+        "export": _cmd_export,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

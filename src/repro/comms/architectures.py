@@ -1,0 +1,104 @@
+"""The Section II architecture comparison: dual GPRS vs radio relay.
+
+The paper weighs two ways to get both stations' data to Southampton:
+
+1. **Radio relay (Norway design)**: the base station sends its data over
+   the 466 MHz radio-modem PPP link to the reference station, which
+   forwards everything over its single uplink.
+2. **Dual GPRS (final design)**: each station carries its own GPRS modem
+   and uploads independently.
+
+"A twofold power saving can be made, both because the hardware is more
+efficient and the data from the base station does not have to be sent to
+the reference station before transmission."  The functions below do that
+energy arithmetic from Table I, including the Gumstix time needed to drive
+each transfer, so the comparison can be regenerated as a bench (E7) and
+swept over data volumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.components import GPRS_MODEM, GUMSTIX, RADIO_MODEM, DeviceSpec
+
+
+@dataclass(frozen=True)
+class ArchitectureEnergy:
+    """Daily energy bill of one architecture, in joules.
+
+    ``base_j``/``reference_j`` split the bill per station;
+    ``transfer_s_total`` is combined airtime (a proxy for failure
+    exposure — more airtime, more chances to drop).
+    """
+
+    name: str
+    base_j: float
+    reference_j: float
+    transfer_s_total: float
+
+    @property
+    def total_j(self) -> float:
+        """Whole-system energy per day."""
+        return self.base_j + self.reference_j
+
+    @property
+    def total_wh(self) -> float:
+        """Whole-system energy per day in watt-hours."""
+        return self.total_j / 3600.0
+
+
+def _station_send_energy_j(spec: DeviceSpec, nbytes: int) -> float:
+    """Energy for one station to push ``nbytes`` through ``spec``.
+
+    The Gumstix must run to drive the modem, so its 900 mW rides along for
+    the duration.
+    """
+    seconds = spec.transfer_seconds(nbytes)
+    return (spec.power_w + GUMSTIX.power_w) * seconds
+
+
+def dual_gprs_energy(
+    base_bytes: int,
+    reference_bytes: int,
+) -> ArchitectureEnergy:
+    """The final architecture: each station uploads its own data by GPRS."""
+    base_j = _station_send_energy_j(GPRS_MODEM, base_bytes)
+    ref_j = _station_send_energy_j(GPRS_MODEM, reference_bytes)
+    seconds = GPRS_MODEM.transfer_seconds(base_bytes) + GPRS_MODEM.transfer_seconds(
+        reference_bytes
+    )
+    return ArchitectureEnergy("dual-gprs", base_j, ref_j, seconds)
+
+
+def radio_relay_energy(
+    base_bytes: int,
+    reference_bytes: int,
+    uplink: DeviceSpec = GPRS_MODEM,
+    receiver_powered: bool = True,
+) -> ArchitectureEnergy:
+    """The Norway design: base -> (radio PPP) -> reference -> uplink.
+
+    The base station's data crosses the radio link (radio modem + Gumstix
+    at the base; with ``receiver_powered``, the reference's radio modem and
+    Gumstix also run for the duration, as a PPP endpoint must), then the
+    reference station uploads *both* stations' data through ``uplink``.
+    """
+    relay_s = RADIO_MODEM.transfer_seconds(base_bytes)
+    base_j = (RADIO_MODEM.power_w + GUMSTIX.power_w) * relay_s
+    ref_j = _station_send_energy_j(uplink, base_bytes + reference_bytes)
+    if receiver_powered:
+        ref_j += (RADIO_MODEM.power_w + GUMSTIX.power_w) * relay_s
+    seconds = relay_s + uplink.transfer_seconds(base_bytes + reference_bytes)
+    return ArchitectureEnergy("radio-relay", base_j, ref_j, seconds)
+
+
+def architecture_saving_factor(
+    base_bytes: int,
+    reference_bytes: int,
+    receiver_powered: bool = True,
+) -> float:
+    """Relay energy divided by dual-GPRS energy (>= 2 is the paper's claim)."""
+    relay = radio_relay_energy(base_bytes, reference_bytes, receiver_powered=receiver_powered)
+    dual = dual_gprs_energy(base_bytes, reference_bytes)
+    return relay.total_j / dual.total_j

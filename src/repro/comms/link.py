@@ -1,0 +1,128 @@
+"""Common modem machinery: power, connection state, chunked transfers.
+
+A modem is a power-switched load with a connect/transfer/disconnect
+life-cycle.  Transfers proceed in short chunks; at every chunk boundary the
+link's failure hazard is sampled, so a drop loses only the in-flight file,
+and transfer time and energy automatically scale with the Table I rate and
+power figures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.energy.bus import PowerBus
+from repro.energy.components import DeviceSpec
+from repro.sim.kernel import Simulation
+
+
+class LinkDown(Exception):
+    """The link dropped (or never came up).  The in-flight transfer is lost."""
+
+
+class Modem:
+    """Base class for the GPRS and long-range radio modems.
+
+    Parameters
+    ----------
+    sim, bus:
+        Kernel and the station power bus; a load sized from ``spec`` is
+        registered under ``name``.
+    spec:
+        Table I characteristics (rate and power).
+    connect_s:
+        Time from power-on to a usable session.
+    chunk_s:
+        Transfer chunk length; the failure hazard is sampled per chunk.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        bus: PowerBus,
+        name: str,
+        spec: DeviceSpec,
+        connect_s: float = 30.0,
+        chunk_s: float = 30.0,
+    ) -> None:
+        if spec.transfer_rate_bps is None:
+            raise ValueError(f"{spec.name} has no transfer rate; not a modem")
+        self.sim = sim
+        self.bus = bus
+        self.name = name
+        self.spec = spec
+        self.connect_s = connect_s
+        self.chunk_s = chunk_s
+        self.load = bus.add_load(name, spec.power_w)
+        self.connected = False
+        self.bytes_sent_total = 0
+        self.connect_attempts = 0
+        self.connect_failures = 0
+        self.drops = 0
+
+    # ------------------------------------------------------------------
+    # Failure model hooks (subclasses override)
+    # ------------------------------------------------------------------
+    def available(self, time: float) -> bool:
+        """Whether the network/link can be established at all right now."""
+        return True
+
+    def drop_hazard_per_s(self, time: float) -> float:
+        """Instantaneous probability-per-second of the session dropping."""
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Session life-cycle
+    # ------------------------------------------------------------------
+    def connect(self):
+        """Process: power up and establish a session.
+
+        Raises :class:`LinkDown` if the link is unavailable; the modem is
+        left powered (the caller decides whether to retry or power off).
+        """
+        self.connect_attempts += 1
+        self.bus.loads.switch_on(self.name)
+        yield self.sim.timeout(self.connect_s)
+        if not self.available(self.sim.now):
+            self.connect_failures += 1
+            self.sim.trace.emit(self.name, "connect_failed")
+            raise LinkDown(f"{self.name}: network unavailable")
+        self.connected = True
+        self.sim.trace.emit(self.name, "connected")
+
+    def disconnect(self) -> None:
+        """Tear down the session and power the modem off."""
+        if self.connected:
+            self.sim.trace.emit(self.name, "disconnected")
+        self.connected = False
+        self.bus.loads.switch_off(self.name)
+
+    def transfer_time_s(self, nbytes: int) -> float:
+        """Airtime to move ``nbytes`` at the link rate."""
+        assert self.spec.transfer_rate_bps is not None
+        return nbytes * 8.0 / self.spec.transfer_rate_bps
+
+    def send(self, nbytes: int, label: str = ""):
+        """Process: move ``nbytes`` over the connected session.
+
+        Chunked: a mid-transfer drop raises :class:`LinkDown` after the
+        already-elapsed airtime (and energy) has been spent.  Progress
+        within the payload is intentionally *not* reported — like the
+        deployed system's scp, a dropped file must be resent in full.
+        """
+        if not self.connected:
+            raise LinkDown(f"{self.name}: not connected")
+        remaining_s = self.transfer_time_s(nbytes)
+        rng = self.sim.rng.stream(f"{self.name}.drops")
+        while remaining_s > 0:
+            step = min(self.chunk_s, remaining_s)
+            yield self.sim.timeout(step)
+            remaining_s -= step
+            hazard = self.drop_hazard_per_s(self.sim.now)
+            if hazard > 0 and rng.random() < 1.0 - (1.0 - hazard) ** step:
+                self.connected = False
+                self.drops += 1
+                self.sim.trace.emit(self.name, "link_drop", label=label)
+                raise LinkDown(f"{self.name}: dropped during {label or 'transfer'}")
+        self.bytes_sent_total += nbytes
+        self.sim.trace.emit(self.name, "sent", nbytes=nbytes, label=label)

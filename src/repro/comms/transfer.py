@@ -1,0 +1,147 @@
+"""Windowed, file-by-file uploads and the backlog arithmetic of Section VI.
+
+The stations upload data inside a runtime window bounded by the MSP430's
+2-hour emergency timeout.  Three behaviours from the paper are reproduced
+here:
+
+- **file-by-file progress**: a file only leaves the backlog once fully
+  sent, so after an outage "the data will be processed file by file, and so
+  over the course of a few days the backlog will be cleared";
+- **window arithmetic**: more than ~21 days of state-3 GPS data (or ~259
+  days of state-2 data) exceeds what a 2-hour window can move;
+- **the livelock**: a *single* file bigger than one window's capacity can
+  never complete, "meaning that no progress could ever be made".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.comms.link import LinkDown, Modem
+from repro.hardware.storage import StoredFile
+from repro.sim.events import Interrupt
+from repro.sim.kernel import Simulation
+
+
+@dataclass
+class TransferResult:
+    """Outcome of one upload window.
+
+    Attributes
+    ----------
+    sent:
+        Names of files fully transferred (safe to delete from the backlog).
+    bytes_sent:
+        Total payload delivered.
+    interrupted:
+        True if the window closed (watchdog) mid-run.
+    link_lost:
+        True if the session dropped and could not be re-established.
+    oversized:
+        Name of a file that cannot fit in any window of the given budget,
+        detected before wasting airtime on it (None if all files fit).
+    """
+
+    sent: List[str] = field(default_factory=list)
+    bytes_sent: int = 0
+    interrupted: bool = False
+    link_lost: bool = False
+    oversized: Optional[str] = None
+
+
+def estimate_window_bytes(modem: Modem, window_s: float, overhead_s: float = 0.0) -> int:
+    """Bytes a window of ``window_s`` can move at the modem's rate."""
+    usable_s = max(0.0, window_s - overhead_s)
+    assert modem.spec.transfer_rate_bps is not None
+    return int(usable_s * modem.spec.transfer_rate_bps / 8.0)
+
+
+def is_oversized(size_bytes: int, modem: Modem, window_s: float, overhead_s: float = 0.0) -> bool:
+    """Whether one file can never complete within a single window."""
+    return size_bytes > estimate_window_bytes(modem, window_s, overhead_s)
+
+
+def upload_files(
+    sim: Simulation,
+    modem: Modem,
+    files: Sequence[StoredFile],
+    window_s: Optional[float] = None,
+    max_reconnects: int = 2,
+    skip_oversized: bool = False,
+    on_file_sent=None,
+):
+    """Process: upload ``files`` oldest-first over ``modem``.
+
+    The modem must already be connected.  A :class:`LinkDown` mid-file
+    triggers up to ``max_reconnects`` reconnection attempts; the dropped
+    file restarts from zero (scp semantics).  A watchdog
+    :class:`~repro.sim.events.Interrupt` ends the window immediately with
+    partial results.
+
+    ``on_file_sent(stored_file)`` fires the moment each file completes —
+    like scp, a delivered file has *arrived* even if the session is cut
+    moments later, so callers must ingest per file, not per batch.
+
+    ``window_s`` (if given) enables oversized-file detection against the
+    stated budget: with ``skip_oversized`` the engine steps over such files
+    (the paper's suggested mitigation territory); without it, it attempts
+    them anyway and the watchdog will cut the session — the deployed
+    behaviour that risks livelock.
+
+    Returns a :class:`TransferResult`.
+    """
+    result = TransferResult()
+    try:
+        for stored in files:
+            if window_s is not None and is_oversized(stored.size_bytes, modem, window_s):
+                result.oversized = stored.name
+                sim.trace.emit(modem.name, "oversized_file", file=stored.name,
+                               size=stored.size_bytes)
+                if skip_oversized:
+                    continue
+            attempts = 0
+            while True:
+                try:
+                    yield sim.process(modem.send(stored.size_bytes, label=stored.name))
+                    result.sent.append(stored.name)
+                    result.bytes_sent += stored.size_bytes
+                    if on_file_sent is not None:
+                        on_file_sent(stored)
+                    break
+                except LinkDown:
+                    attempts += 1
+                    if attempts > max_reconnects:
+                        result.link_lost = True
+                        return result
+                    try:
+                        yield sim.process(modem.connect())
+                    except LinkDown:
+                        result.link_lost = True
+                        return result
+    except Interrupt:
+        result.interrupted = True
+        sim.trace.emit(modem.name, "window_closed", sent=len(result.sent))
+    return result
+
+
+def drain_days(
+    backlog_bytes: int,
+    file_size_bytes: int,
+    modem: Modem,
+    window_s: float,
+    overhead_s: float = 0.0,
+) -> float:
+    """Days needed to clear a backlog at one window per day (analytic).
+
+    Whole files only: each day moves ``floor(capacity / file_size)`` files.
+    Returns ``inf`` when a single file exceeds the window — the livelock.
+    """
+    if backlog_bytes <= 0:
+        return 0.0
+    capacity = estimate_window_bytes(modem, window_s, overhead_s)
+    files_per_day = capacity // file_size_bytes if file_size_bytes > 0 else 0
+    if files_per_day == 0:
+        return float("inf")
+    total_files = -(-backlog_bytes // file_size_bytes)  # ceil
+    return -(-total_files // files_per_day)  # ceil

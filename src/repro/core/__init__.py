@@ -1,0 +1,52 @@
+"""The paper's contribution: adaptive power management for hybrid nodes.
+
+This package is the Python control layer the paper describes running on the
+stations ("we have used Python for all high-level code ... All decision
+making, most time-outs and state-handling is written in Python"), ported to
+run against the simulated hardware:
+
+- :mod:`repro.core.power_policy` — Table II: the four power states, their
+  voltage thresholds and what each permits;
+- :mod:`repro.core.controller` — the daily battery-voltage average and the
+  local state decision;
+- :mod:`repro.core.sync` — the server-mediated state synchronisation with
+  its station-side safety clamps;
+- :mod:`repro.core.recovery` — automatic schedule resetting after total
+  battery exhaustion (Section IV);
+- :mod:`repro.core.station` — the Fig 4 daily run sequence for base and
+  reference stations;
+- :mod:`repro.core.deployment` — the top-level facade wiring a full
+  two-station deployment;
+- :mod:`repro.core.config` — every tunable, with paper defaults.
+"""
+
+from repro.core.config import DeploymentConfig, StationConfig
+from repro.core.controller import daily_average_voltage
+from repro.core.deployment import Deployment
+from repro.core.power_policy import (
+    POWER_STATE_TABLE,
+    PowerPolicy,
+    PowerState,
+    PowerStateSpec,
+)
+from repro.core.recovery import LAST_RUN_FILE, ScheduleRecovery
+from repro.core.station import BaseStation, ReferenceStation, Station
+from repro.core.sync import StateSynchronizer, clamp_override
+
+__all__ = [
+    "BaseStation",
+    "Deployment",
+    "DeploymentConfig",
+    "LAST_RUN_FILE",
+    "POWER_STATE_TABLE",
+    "PowerPolicy",
+    "PowerState",
+    "PowerStateSpec",
+    "ReferenceStation",
+    "ScheduleRecovery",
+    "Station",
+    "StationConfig",
+    "StateSynchronizer",
+    "clamp_override",
+    "daily_average_voltage",
+]

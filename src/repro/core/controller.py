@@ -1,0 +1,43 @@
+"""The daily battery-health calculation (Section III).
+
+"Measurements of the battery voltage every thirty minutes ... Once a day
+these voltages are downloaded to the Gumstix and a daily average
+calculated.  This averaging is to enable the overall health of the battery
+to be determined rather than just the health at midday ... as the highest
+voltage for the day is reached at approximately midday."
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.power_policy import PowerPolicy, PowerState
+
+
+def daily_average_voltage(samples: Sequence[Tuple[float, float]]) -> Optional[float]:
+    """Mean voltage of the downloaded (time, volts) samples.
+
+    Returns ``None`` for an empty log (first boot, or RAM lost) — callers
+    fall back to an instantaneous ADC reading in that case.
+    """
+    if not samples:
+        return None
+    return sum(volts for _time, volts in samples) / len(samples)
+
+
+def decide_local_state(
+    policy: PowerPolicy,
+    samples: Sequence[Tuple[float, float]],
+    instantaneous_voltage: float,
+) -> Tuple[PowerState, float]:
+    """The station's local power-state decision.
+
+    Uses the daily average when a log exists; otherwise the immediate ADC
+    reading (conservative: a midday instantaneous reading is near the daily
+    peak, but it is all a freshly-rebooted station has).
+
+    Returns ``(state, voltage_used)``.
+    """
+    average = daily_average_voltage(samples)
+    voltage = average if average is not None else instantaneous_voltage
+    return policy.state_for_voltage(voltage), voltage

@@ -1,0 +1,113 @@
+"""The top-level facade: a full two-station Iceland deployment.
+
+``Deployment`` wires up everything the paper describes: shared weather and
+glacier, the Southampton server, the on-ice base station with its seven
+probes and wired probe, and the café reference station.  This is the
+library's primary entry point::
+
+    from repro.core import Deployment, DeploymentConfig
+
+    deployment = Deployment(DeploymentConfig(seed=42))
+    deployment.run_days(30)
+    print(deployment.base.effective_state)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import DeploymentConfig
+from repro.core.station import BaseStation, ReferenceStation
+from repro.environment.glacier import GlacierModel
+from repro.environment.weather import IcelandWeather
+from repro.probes.probe import Probe, WiredProbe
+from repro.sensors.probe_sensors import make_probe_sensor_suite
+from repro.sensors.station_sensors import make_station_sensor_suite
+from repro.server.server import SouthamptonServer
+from repro.sim.kernel import Simulation
+
+
+class Deployment:
+    """A complete simulated deployment on Vatnajökull."""
+
+    def __init__(self, config: Optional[DeploymentConfig] = None) -> None:
+        self.config = config if config is not None else DeploymentConfig()
+        cfg = self.config
+        self.sim = Simulation(seed=cfg.seed)
+        self.weather = IcelandWeather(cfg.weather, seed=cfg.seed)
+        self.glacier = GlacierModel(cfg.glacier, seed=cfg.seed)
+        self.server = SouthamptonServer(self.sim)
+
+        # --- probes ---
+        lifetimes = cfg.probe_lifetimes_days or [None] * len(cfg.probe_ids)
+        if len(lifetimes) != len(cfg.probe_ids):
+            raise ValueError("probe_lifetimes_days must match probe_ids in length")
+        self.probes: List[Probe] = [
+            Probe(
+                self.sim,
+                probe_id=probe_id,
+                sensors=make_probe_sensor_suite(self.glacier, probe_id, seed=cfg.seed),
+                sampling_interval_s=cfg.probe_sampling_interval_s,
+                lifetime_days=lifetime,
+                clock_drift_ppm=cfg.probe_clock_drift_ppm,
+            )
+            for probe_id, lifetime in zip(cfg.probe_ids, lifetimes)
+        ]
+        self.wired_probe = WiredProbe(self.sim, lifetime_days=cfg.wired_probe_lifetime_days)
+
+        # --- stations ---
+        self.base = BaseStation(
+            self.sim,
+            cfg.base,
+            self.weather,
+            self.server,
+            glacier=self.glacier,
+            probes=self.probes,
+            wired_probe=self.wired_probe,
+            sensors=make_station_sensor_suite(self.weather, seed=cfg.seed,
+                                              with_tilt=cfg.station_tilt_sensors),
+            probe_corruption_probability=cfg.probe_corruption_probability,
+            probe_time_sync=cfg.probe_time_sync,
+        )
+        self.reference = ReferenceStation(
+            self.sim,
+            cfg.reference,
+            self.weather,
+            self.server,
+            glacier=self.glacier,
+            sensors=make_station_sensor_suite(self.weather, seed=cfg.seed + 1,
+                                              with_tilt=cfg.station_tilt_sensors),
+        )
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run_days(self, days: float) -> None:
+        """Advance the simulation by ``days`` days."""
+        self.sim.run_days(days)
+
+    @property
+    def stations(self):
+        """Both stations, base first."""
+        return (self.base, self.reference)
+
+    # ------------------------------------------------------------------
+    # Convenience queries used by examples and benches
+    # ------------------------------------------------------------------
+    def set_manual_override(self, state: Optional[int]) -> None:
+        """Operator override on the Southampton server (None clears)."""
+        self.server.power_states.set_manual_override(state)
+
+    def voltage_series(self, station: str = "base"):
+        """(time, volts) samples the station's MSP430 recorded (from trace)."""
+        return self.sim.trace.series(
+            "voltage_sample", "volts", source=f"{station}.msp430"
+        )
+
+    def state_series(self, station: str = "base"):
+        """(time, effective_state) transitions a station applied."""
+        return self.sim.trace.series("state_applied", "state", source=station)
+
+    def surviving_probes(self) -> int:
+        """How many probes still respond right now."""
+        return sum(1 for probe in self.probes if probe.is_alive)

@@ -1,0 +1,149 @@
+"""Data-priority communication: the paper's Section VII extension.
+
+"This work could be extended by enabling the base station to analyse the
+data collected and prioritise it[,] forcing communication even if the
+available power is marginal if the data warrants it."
+
+The :class:`DataPrioritizer` inspects each day's freshly collected probe
+readings for scientifically urgent signals and, when one is found, grants
+a bounded *priority comms budget* that lets a station in power state 0
+(normally silent) make one minimal upload anyway.
+
+Detectors (each maps to an event the project cares about):
+
+- **melt onset** — basal conductivity jumping well above its trailing
+  baseline (the Fig 6 signal arriving);
+- **pressure surge** — subglacial water pressure spiking (stick-slip
+  precursor, refs [4, 5]);
+- **probe silence** — a previously live probe missing from the day's
+  collection (health rather than science, but equally urgent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class PriorityEvent:
+    """One urgent finding in the day's data."""
+
+    kind: str
+    probe_id: int
+    value: float
+    detail: str
+
+
+@dataclass
+class PrioritizerConfig:
+    """Detection thresholds."""
+
+    #: Conductivity must exceed baseline by this many µS to trigger.
+    conductivity_jump_us: float = 3.0
+    #: Trailing window (readings) for the conductivity baseline.
+    baseline_window: int = 48
+    #: Water pressure (m head) above which a surge triggers.
+    pressure_surge_m: float = 75.0
+    #: Maximum priority uploads allowed per calendar month (budget —
+    #: marginal power must not be spent daily).
+    monthly_budget: int = 3
+
+
+class DataPrioritizer:
+    """Stateful analyser of the probe readings a base station collects."""
+
+    def __init__(self, config: Optional[PrioritizerConfig] = None) -> None:
+        self.config = config or PrioritizerConfig()
+        self._conductivity_history: Dict[int, List[float]] = {}
+        self._seen_probes: set = set()
+        self._uses_by_month: Dict[int, int] = {}
+        self.events_detected: List[PriorityEvent] = []
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def analyse(self, readings: Sequence[dict], collected_probe_ids: Sequence[int]):
+        """Inspect one day's readings; returns the events found.
+
+        ``readings`` are dicts with ``channels``/``probe_id``-style keys as
+        staged by the base station; ``collected_probe_ids`` is the set of
+        probes that responded today (for silence detection).
+        """
+        events: List[PriorityEvent] = []
+        for reading in readings:
+            probe_id = reading.get("probe_id", -1)
+            channels = reading.get("channels", {})
+            if "conductivity_us" in channels:
+                events.extend(
+                    self._check_conductivity(probe_id, channels["conductivity_us"])
+                )
+            if "pressure_m" in channels:
+                if channels["pressure_m"] > self.config.pressure_surge_m:
+                    events.append(
+                        PriorityEvent(
+                            "pressure_surge", probe_id, channels["pressure_m"],
+                            f"pressure {channels['pressure_m']:.1f} m exceeds "
+                            f"{self.config.pressure_surge_m:.0f} m",
+                        )
+                    )
+        events.extend(self._check_silence(collected_probe_ids))
+        # One alert per (kind, probe) per day: a surge seen by fifty
+        # readings is still one event.
+        deduped: List[PriorityEvent] = []
+        seen_keys = set()
+        for event in events:
+            key = (event.kind, event.probe_id)
+            if key not in seen_keys:
+                seen_keys.add(key)
+                deduped.append(event)
+        self.events_detected.extend(deduped)
+        return deduped
+
+    def _check_conductivity(self, probe_id: int, value: float):
+        history = self._conductivity_history.setdefault(probe_id, [])
+        events = []
+        if len(history) >= self.config.baseline_window // 2:
+            window = history[-self.config.baseline_window:]
+            baseline = sum(window) / len(window)
+            if value > baseline + self.config.conductivity_jump_us:
+                events.append(
+                    PriorityEvent(
+                        "melt_onset", probe_id, value,
+                        f"conductivity {value:.1f} µS vs baseline {baseline:.1f} µS",
+                    )
+                )
+        history.append(value)
+        if len(history) > 4 * self.config.baseline_window:
+            del history[: len(history) - 2 * self.config.baseline_window]
+        return events
+
+    def _check_silence(self, collected_probe_ids: Sequence[int]):
+        current = set(collected_probe_ids)
+        vanished = self._seen_probes - current
+        # Report each disappearance once; a probe that returns re-arms.
+        self._seen_probes = (self._seen_probes | current) - vanished
+        return [
+            PriorityEvent("probe_silent", probe_id, 0.0,
+                          f"probe {probe_id} stopped responding")
+            for probe_id in sorted(vanished)
+        ]
+
+    # ------------------------------------------------------------------
+    # The marginal-power budget
+    # ------------------------------------------------------------------
+    def should_force_comms(self, events: Sequence[PriorityEvent], month: int) -> bool:
+        """Whether today's events justify spending marginal power.
+
+        Grants at most ``monthly_budget`` forced uploads per calendar
+        month; silence events alone do not unlock the budget (they can
+        wait for the next scheduled contact — the science events cannot).
+        """
+        urgent = [e for e in events if e.kind in ("melt_onset", "pressure_surge")]
+        if not urgent:
+            return False
+        used = self._uses_by_month.get(month, 0)
+        if used >= self.config.monthly_budget:
+            return False
+        self._uses_by_month[month] = used + 1
+        return True

@@ -1,0 +1,115 @@
+"""Automatic schedule resetting after total battery exhaustion (Section IV).
+
+After a brown-out the MSP430's RAM schedule is gone and the RTC has reset
+to 1/1/1970.  On the next boot:
+
+1. the station reads the persisted "last successful run" timestamp and
+   checks whether the RTC's current time is *before* it — if so the RTC
+   cannot be trusted;
+2. it powers the GPS and takes a time fix; "if the system cannot set the
+   time using GPS then the system will sleep for a day and try again"
+   (the flash-default daily wake provides the retry);
+3. an NTP-over-GPRS fallback (the paper's future-work suggestion) is
+   implemented as an optional second source;
+4. once the clock is right, the schedule is rewritten for state 0 and
+   normal operation resumes.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Optional
+
+from repro.comms.link import LinkDown
+from repro.gps.receiver import GpsReceiver, TimeFixFailed
+from repro.hardware.i2c import I2CBus
+from repro.hardware.storage import CompactFlashCard, StorageCorruption
+from repro.sim.kernel import Simulation
+
+#: Name of the persisted last-successful-run marker on the CF card.
+LAST_RUN_FILE = "state/last_run"
+
+
+class ScheduleRecovery:
+    """RTC trust checking and clock recovery for one station."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        station_name: str,
+        card: CompactFlashCard,
+        gps: GpsReceiver,
+        i2c: I2CBus,
+        ntp_fallback: bool = False,
+        gprs_modem=None,
+    ) -> None:
+        self.sim = sim
+        self.station_name = station_name
+        self.card = card
+        self.gps = gps
+        self.i2c = i2c
+        self.ntp_fallback = ntp_fallback
+        self.gprs_modem = gprs_modem
+        self.recoveries = 0
+        self.failed_attempts = 0
+
+    # ------------------------------------------------------------------
+    # The persisted marker
+    # ------------------------------------------------------------------
+    def record_successful_run(self) -> None:
+        """Persist the RTC's time of this successful run."""
+        when = self.i2c.read_rtc()
+        self.card.write(LAST_RUN_FILE, size_bytes=32, created=self.sim.now, payload=when)
+
+    def last_run_time(self) -> Optional[_dt.datetime]:
+        """The recorded last run, or ``None`` if never recorded/corrupted."""
+        try:
+            return self.card.read(LAST_RUN_FILE).payload
+        except (FileNotFoundError, StorageCorruption):
+            return None
+
+    def rtc_trusted(self) -> bool:
+        """The Section IV check: the RTC must not be earlier than the last run.
+
+        A station that has never run trusts its (factory-set) clock.
+        """
+        last_run = self.last_run_time()
+        if last_run is None:
+            return True
+        return self.i2c.read_rtc() >= last_run
+
+    # ------------------------------------------------------------------
+    # Clock recovery
+    # ------------------------------------------------------------------
+    def recover_clock(self):
+        """Process: restore the RTC from GPS (or NTP fallback).
+
+        Returns True on success.  On failure the caller shuts down and the
+        flash-default schedule retries tomorrow.
+        """
+        try:
+            fix = yield self.sim.process(self.gps.time_fix())
+        except TimeFixFailed:
+            fix = None
+        if fix is None and self.ntp_fallback and self.gprs_modem is not None:
+            fix = yield from self._ntp_time()
+        if fix is None:
+            self.failed_attempts += 1
+            self.sim.trace.emit(self.station_name, "clock_recovery_failed")
+            return False
+        self.i2c.set_rtc(fix)
+        self.recoveries += 1
+        self.sim.trace.emit(self.station_name, "clock_recovered", time=fix.isoformat())
+        return True
+
+    def _ntp_time(self):
+        """NTP over GPRS: the paper's proposed extension."""
+        try:
+            yield self.sim.process(self.gprs_modem.connect())
+            yield self.sim.process(self.gprs_modem.send(96, label="ntp"))
+        except LinkDown:
+            self.gprs_modem.disconnect()
+            return None
+        self.gprs_modem.disconnect()
+        self.sim.trace.emit(self.station_name, "ntp_fix")
+        return self.sim.utcnow()

@@ -1,0 +1,60 @@
+"""Energy subsystem: battery, charging sources, loads and accounting.
+
+This package models the power side of the Gumsense stations:
+
+- :mod:`repro.energy.components` — the device registry from the paper's
+  Table I (power consumption and transfer rates of the Gumstix, GPRS modem,
+  long-range radio modem and GPS receiver);
+- :mod:`repro.energy.battery` — a lead-acid battery bank with an
+  SoC-dependent terminal-voltage model, reproducing the 11.5-14.5 V band of
+  the paper's Fig 5;
+- :mod:`repro.energy.loads` — switchable consumers attached to power rails;
+- :mod:`repro.energy.sources` — solar panel (10 W), wind turbine (50 W)
+  and café mains charger;
+- :mod:`repro.energy.bus` — the integration loop tying them together, with
+  brown-out/recovery events used by the schedule-reset machinery.
+"""
+
+from repro.energy.battery import Battery, BatteryConfig
+from repro.energy.bus import PowerBus
+from repro.energy.components import (
+    GPRS_MODEM,
+    GPS_RECEIVER,
+    GUMSTIX,
+    MSP430_SLEEP,
+    RADIO_MODEM,
+    TABLE_I,
+    DeviceSpec,
+    energy_per_megabyte_j,
+    table_i_rows,
+)
+from repro.energy.loads import Load, LoadSet
+from repro.energy.sources import (
+    ConstantSource,
+    MainsCharger,
+    PowerSource,
+    SolarPanel,
+    WindTurbine,
+)
+
+__all__ = [
+    "Battery",
+    "BatteryConfig",
+    "ConstantSource",
+    "DeviceSpec",
+    "GPRS_MODEM",
+    "GPS_RECEIVER",
+    "GUMSTIX",
+    "Load",
+    "LoadSet",
+    "MSP430_SLEEP",
+    "MainsCharger",
+    "PowerBus",
+    "PowerSource",
+    "RADIO_MODEM",
+    "SolarPanel",
+    "TABLE_I",
+    "WindTurbine",
+    "energy_per_megabyte_j",
+    "table_i_rows",
+]

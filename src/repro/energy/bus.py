@@ -1,0 +1,135 @@
+"""The power bus: battery + sources + loads, integrated over time.
+
+The bus owns the station's battery, its charging sources and its
+:class:`~repro.energy.loads.LoadSet`.  A background process samples the
+sources on a fixed step; load switches trigger an exact sub-step
+integration first, so per-load energy accounting is exact for
+piecewise-constant loads.
+
+The bus also raises the two life-cycle edges the rest of the system hooks:
+
+- **brown-out** — the battery reached exhaustion; the MSP430 loses its RAM
+  schedule and the RTC resets (Section IV of the paper);
+- **recovery** — external charging has restored enough charge to restart.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.energy.battery import Battery
+from repro.energy.loads import Load, LoadSet
+from repro.energy.sources import PowerSource
+from repro.sim.kernel import Simulation
+
+
+class PowerBus:
+    """Integrates battery charge and exposes the observable terminal voltage.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel.
+    battery:
+        The station's battery bank.
+    name:
+        Prefix for trace records (e.g. ``"base.power"``).
+    step_s:
+        Sampling step for the background integration process.  300 s keeps
+        year-long runs fast while resolving the diurnal solar curve.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        battery: Battery,
+        name: str = "power",
+        step_s: float = 300.0,
+    ) -> None:
+        if step_s <= 0:
+            raise ValueError("step_s must be > 0")
+        self.sim = sim
+        self.battery = battery
+        self.name = name
+        self.step_s = step_s
+        self.loads = LoadSet()
+        self.sources: List[PowerSource] = []
+        self._last_sync = sim.now
+        self._was_exhausted = battery.is_exhausted
+        self.on_brownout: List[Callable[[], None]] = []
+        self.on_recovery: List[Callable[[], None]] = []
+        self.loads.subscribe(lambda _load: self.sync())
+        self._process = sim.process(self._run(), name=f"{name}.integrator")
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def add_source(self, source: PowerSource) -> PowerSource:
+        """Attach a charging source."""
+        self.sources.append(source)
+        return source
+
+    def add_load(self, name: str, power_w: float) -> Load:
+        """Register a switchable load."""
+        return self.loads.add(name, power_w)
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def source_power(self, time: Optional[float] = None) -> float:
+        """Combined source output in watts at ``time`` (default: now)."""
+        when = self.sim.now if time is None else time
+        return sum(source.power_w(when) for source in self.sources)
+
+    def load_power(self) -> float:
+        """Combined draw of switched-on loads in watts."""
+        return self.loads.total_power()
+
+    def net_power(self) -> float:
+        """Sources minus loads, in watts (positive = charging)."""
+        return self.source_power() - self.load_power()
+
+    def terminal_voltage(self) -> float:
+        """Battery terminal voltage right now — what the MSP430's ADC sees."""
+        self.sync()
+        return self.battery.terminal_voltage(self.net_power())
+
+    # ------------------------------------------------------------------
+    # Integration
+    # ------------------------------------------------------------------
+    def sync(self) -> None:
+        """Integrate battery and per-load energy up to the current instant."""
+        now = self.sim.now
+        dt = now - self._last_sync
+        if dt <= 0:
+            return
+        self._last_sync = now
+        exhausted_before = self.battery.is_exhausted
+        load_w = self.loads.total_power()
+        source_w = self.source_power(now)
+        self.battery.apply(dt, load_w=load_w, source_w=source_w)
+        if not exhausted_before:
+            for load in self.loads:
+                load.energy_j += load.current_power() * dt
+        for source in self.sources:
+            source.energy_j += source.power_w(now) * dt
+        self._check_edges()
+
+    def _check_edges(self) -> None:
+        exhausted = self.battery.is_exhausted
+        if exhausted and not self._was_exhausted:
+            self._was_exhausted = True
+            self.sim.trace.emit(self.name, "brownout", soc=self.battery.soc)
+            self.loads.all_off()
+            for callback in list(self.on_brownout):
+                callback()
+        elif self._was_exhausted and self.battery.can_restart:
+            self._was_exhausted = False
+            self.sim.trace.emit(self.name, "recovery", soc=self.battery.soc)
+            for callback in list(self.on_recovery):
+                callback()
+
+    def _run(self):
+        while True:
+            yield self.sim.timeout(self.step_s)
+            self.sync()

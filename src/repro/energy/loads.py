@@ -1,0 +1,102 @@
+"""Switchable electrical loads and per-load energy accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass
+class Load:
+    """One switchable consumer (Gumstix, GPS, modem, sensor rail...).
+
+    Attributes
+    ----------
+    name:
+        Unique name within its :class:`LoadSet`.
+    power_w:
+        Draw in watts while on.
+    on:
+        Current switch state.
+    energy_j:
+        Total energy consumed so far (maintained by the owning bus).
+    """
+
+    name: str
+    power_w: float
+    on: bool = False
+    energy_j: float = 0.0
+
+    def current_power(self) -> float:
+        """Instantaneous draw in watts."""
+        return self.power_w if self.on else 0.0
+
+
+class LoadSet:
+    """A named collection of loads with change notification.
+
+    The power bus subscribes to switch changes so it can integrate the
+    battery exactly over each piecewise-constant load interval.
+    """
+
+    def __init__(self) -> None:
+        self._loads: Dict[str, Load] = {}
+        self._on_change: List[Callable[[Load], None]] = []
+
+    def add(self, name: str, power_w: float) -> Load:
+        """Register a new load, initially off."""
+        if name in self._loads:
+            raise ValueError(f"duplicate load name {name!r}")
+        if power_w < 0:
+            raise ValueError("power must be >= 0")
+        load = Load(name=name, power_w=power_w)
+        self._loads[name] = load
+        return load
+
+    def get(self, name: str) -> Load:
+        """Look up a load by name."""
+        return self._loads[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._loads
+
+    def __iter__(self):
+        return iter(self._loads.values())
+
+    def subscribe(self, callback: Callable[[Load], None]) -> None:
+        """Call ``callback(load)`` just before any switch change."""
+        self._on_change.append(callback)
+
+    def set_on(self, name: str, on: bool) -> None:
+        """Switch a load, notifying subscribers first (for exact integration)."""
+        load = self._loads[name]
+        if load.on == on:
+            return
+        for callback in self._on_change:
+            callback(load)
+        load.on = on
+
+    def switch_on(self, name: str) -> None:
+        """Turn a load on."""
+        self.set_on(name, True)
+
+    def switch_off(self, name: str) -> None:
+        """Turn a load off."""
+        self.set_on(name, False)
+
+    def all_off(self) -> None:
+        """Turn every load off (brown-out)."""
+        for load in list(self._loads.values()):
+            self.set_on(load.name, False)
+
+    def total_power(self) -> float:
+        """Instantaneous combined draw of all switched-on loads, in watts."""
+        return sum(load.current_power() for load in self._loads.values())
+
+    def energy_report_wh(self) -> Dict[str, float]:
+        """Energy consumed per load so far, in watt-hours."""
+        return {load.name: load.energy_j / 3600.0 for load in self._loads.values()}
+
+    def active(self) -> List[str]:
+        """Names of loads currently on."""
+        return [load.name for load in self._loads.values() if load.on]

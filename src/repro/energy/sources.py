@@ -1,0 +1,147 @@
+"""Charging sources: solar panel, wind turbine, café mains.
+
+The base station carries a 10 W solar panel and a 50 W wind turbine; the
+reference station has a solar panel and a mains charger input that is live
+only while the café has power (the April-September tourist season).
+Winter is what stresses the system: short days, panel burial under snow and
+iced-up turbines reduce generation to near zero, driving the power-state
+descents the paper's power management is built around.
+
+Sources expose a single method, ``power_w(time)``, and pull whatever
+environmental signals they need from a weather provider — any object with
+``solar_factor(time)``, ``wind_speed(time)`` and ``snow_depth(time)``
+(see :class:`repro.environment.weather.IcelandWeather`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+
+class WeatherProvider(Protocol):
+    """The slice of the environment the charging sources observe."""
+
+    def solar_factor(self, time: float) -> float:
+        """Irradiance as a fraction of panel rating, in [0, 1]."""
+
+    def wind_speed(self, time: float) -> float:
+        """Wind speed in m/s."""
+
+    def snow_depth(self, time: float) -> float:
+        """Snow depth at the station in metres."""
+
+
+class PowerSource:
+    """Base class: a named generator with a ``power_w(time)`` query."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.energy_j = 0.0  # maintained by the owning bus
+
+    def power_w(self, time: float) -> float:
+        """Instantaneous output in watts at simulated ``time``."""
+        raise NotImplementedError
+
+
+class SolarPanel(PowerSource):
+    """Photovoltaic panel, derated by irradiance and buried by snow.
+
+    Parameters
+    ----------
+    rated_w:
+        Peak output (10 W on the base station).
+    weather:
+        Environment provider.
+    burial_depth_m:
+        Snow depth at which output reaches zero.  Output falls linearly
+        from full at zero depth.
+    """
+
+    def __init__(
+        self,
+        weather: WeatherProvider,
+        rated_w: float = 10.0,
+        name: str = "solar",
+        burial_depth_m: float = 0.5,
+    ) -> None:
+        super().__init__(name)
+        self.rated_w = rated_w
+        self.weather = weather
+        self.burial_depth_m = burial_depth_m
+
+    def power_w(self, time: float) -> float:
+        burial = max(0.0, 1.0 - self.weather.snow_depth(time) / self.burial_depth_m)
+        return self.rated_w * self.weather.solar_factor(time) * burial
+
+
+class WindTurbine(PowerSource):
+    """Small wind turbine with cut-in/rated/cut-out behaviour.
+
+    Output follows the standard cubic law between cut-in and rated wind
+    speed, is flat at rated output up to cut-out, and zero beyond (storm
+    protection).  Deep snow disables the turbine entirely — the paper notes
+    that in Iceland "the expected snow would even stop that source from
+    being useful".
+    """
+
+    def __init__(
+        self,
+        weather: WeatherProvider,
+        rated_w: float = 50.0,
+        name: str = "wind",
+        cut_in_ms: float = 3.0,
+        rated_ms: float = 12.0,
+        cut_out_ms: float = 25.0,
+        disabled_snow_depth_m: float = 1.2,
+    ) -> None:
+        super().__init__(name)
+        self.rated_w = rated_w
+        self.weather = weather
+        self.cut_in_ms = cut_in_ms
+        self.rated_ms = rated_ms
+        self.cut_out_ms = cut_out_ms
+        self.disabled_snow_depth_m = disabled_snow_depth_m
+
+    def power_w(self, time: float) -> float:
+        if self.weather.snow_depth(time) >= self.disabled_snow_depth_m:
+            return 0.0
+        speed = self.weather.wind_speed(time)
+        if speed < self.cut_in_ms or speed >= self.cut_out_ms:
+            return 0.0
+        if speed >= self.rated_ms:
+            return self.rated_w
+        span = (speed - self.cut_in_ms) / (self.rated_ms - self.cut_in_ms)
+        return self.rated_w * span**3
+
+
+class MainsCharger(PowerSource):
+    """Café mains charger: full output whenever mains power is available.
+
+    ``availability`` is a callable mapping simulated time to a bool; the
+    reference station uses the café's tourist season
+    (:func:`repro.environment.seasons.cafe_has_power`).
+    """
+
+    def __init__(
+        self,
+        availability: Callable[[float], bool],
+        rated_w: float = 30.0,
+        name: str = "mains",
+    ) -> None:
+        super().__init__(name)
+        self.rated_w = rated_w
+        self.availability = availability
+
+    def power_w(self, time: float) -> float:
+        return self.rated_w if self.availability(time) else 0.0
+
+
+class ConstantSource(PowerSource):
+    """Fixed-output source, useful in tests and calibration benches."""
+
+    def __init__(self, watts: float, name: str = "constant") -> None:
+        super().__init__(name)
+        self.watts = watts
+
+    def power_w(self, time: float) -> float:
+        return self.watts

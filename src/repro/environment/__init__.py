@@ -1,0 +1,40 @@
+"""Environment models: Iceland weather, the glacier, and seasonal helpers.
+
+The deployment site is on Vatnajökull at roughly 64° N.  The environment
+package synthesises the signals the paper's system reacts to:
+
+- :mod:`repro.environment.weather` — solar irradiance (strong seasonality,
+  near-zero in December), wind (Weibull with winter storms), air
+  temperature, snow accumulation and melt;
+- :mod:`repro.environment.glacier` — melt-water input, basal electrical
+  conductivity (the Fig 6 end-of-winter rise), subglacial water pressure,
+  stick-slip ice motion for the dGPS, and the seasonal radio attenuation
+  ("summer water") that degrades probe communications;
+- :mod:`repro.environment.seasons` — calendar predicates such as the café
+  tourist season (April-September mains power) and winter (Dec-March).
+"""
+
+from repro.environment.glacier import GlacierConfig, GlacierModel
+from repro.environment.seasons import (
+    cafe_has_power,
+    is_tourist_season,
+    is_winter,
+    melt_season_factor,
+)
+from repro.environment.sites import SitePreset, iceland_site, norway_site, site_by_name
+from repro.environment.weather import IcelandWeather, WeatherConfig
+
+__all__ = [
+    "GlacierConfig",
+    "GlacierModel",
+    "IcelandWeather",
+    "SitePreset",
+    "WeatherConfig",
+    "cafe_has_power",
+    "iceland_site",
+    "is_tourist_season",
+    "is_winter",
+    "melt_season_factor",
+    "norway_site",
+    "site_by_name",
+]

@@ -1,0 +1,79 @@
+"""Site presets: Norway vs Iceland (the paper's Section II contrast).
+
+The architecture change was driven by site differences the paper spells
+out:
+
+- **Norway** (Briksdalsbreen-era): "very little annual snowfall meaning
+  the wind generator could supply power in winter", and the café has
+  mains all year;
+- **Iceland** (Vatnajökull): heavy snowfall buries everything ("the
+  expected snow would even stop that source from being useful"), and the
+  café only has power in the tourist season.
+
+These presets parameterise :class:`~repro.environment.weather.WeatherConfig`
+so the same station models can be dropped into either climate — the E17
+bench shows the Norway power plan failing in Iceland.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.environment.weather import WeatherConfig
+
+
+@dataclass(frozen=True)
+class SitePreset:
+    """One deployment site's climate and infrastructure."""
+
+    name: str
+    weather: WeatherConfig
+    #: Whether the reference-station café has mains power all year.
+    cafe_mains_all_year: bool
+    latitude_deg: float
+
+
+def norway_site() -> SitePreset:
+    """The Norway predecessor site: mild snow, windy, year-round café mains."""
+    return SitePreset(
+        name="norway",
+        weather=WeatherConfig(
+            latitude_deg=61.7,
+            precip_probability=0.35,
+            snowfall_m_per_day=0.015,  # "very little annual snowfall"
+            melt_m_per_degree_day=0.02,
+            temp_summer_c=8.0,
+            temp_winter_c=-6.0,
+            wind_mean_summer_ms=5.0,
+            wind_mean_winter_ms=10.0,
+        ),
+        cafe_mains_all_year=True,
+        latitude_deg=61.7,
+    )
+
+
+def iceland_site() -> SitePreset:
+    """Vatnajökull: heavy snow that buries panels and turbines."""
+    return SitePreset(
+        name="iceland",
+        weather=WeatherConfig(
+            latitude_deg=64.3,
+            precip_probability=0.55,
+            snowfall_m_per_day=0.06,  # deep accumulation: >2.5 m by February
+            melt_m_per_degree_day=0.015,  # clears by mid-summer
+            temp_summer_c=4.0,
+            temp_winter_c=-10.0,
+            wind_mean_summer_ms=5.0,
+            wind_mean_winter_ms=9.0,
+        ),
+        cafe_mains_all_year=False,
+        latitude_deg=64.3,
+    )
+
+
+def site_by_name(name: str) -> SitePreset:
+    """Look up a preset by name ("norway" or "iceland")."""
+    presets = {"norway": norway_site, "iceland": iceland_site}
+    if name not in presets:
+        raise ValueError(f"unknown site {name!r}; expected one of {sorted(presets)}")
+    return presets[name]()

@@ -1,0 +1,191 @@
+"""Synthetic Iceland weather, deterministic in simulated time.
+
+Every quantity is a *pure function of time* for a given seed, so charging
+sources can sample the weather at arbitrary instants and repeated queries
+agree.  Stochastic texture (clouds, gusts, precipitation) comes from
+hash-derived noise interpolated between fixed 3-hour blocks — no hidden
+mutable RNG state.
+
+The site is Vatnajökull at ~64.3° N:
+
+- **solar**: clear-sky elevation from the standard declination formula —
+  near-midnight-sun day lengths in June, a few dim hours in December —
+  scaled by a cloud-transmission factor;
+- **wind**: seasonal mean (stronger in winter) with gust noise and
+  occasional storm blocks;
+- **temperature**: seasonal sinusoid (≈ +4 °C July, −10 °C January) with a
+  small diurnal cycle and noise;
+- **snow depth**: daily accumulation when cold and precipitating, degree-day
+  melt when warm, integrated deterministically and cached.  Deep snow is
+  what buries the solar panel and stops the wind turbine in winter.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.sim.simtime import DAY, day_of_year, fraction_of_day
+
+#: Length of one noise block: 3 hours.
+NOISE_BLOCK_S = 10800.0
+
+
+@functools.lru_cache(maxsize=1_000_000)
+def _block_noise(seed: int, stream: str, index: int) -> float:
+    """Deterministic uniform [0,1) noise for one stream/block pair.
+
+    Cached: simulations re-query the same blocks constantly (every power
+    bus step samples the same weather blocks), and the value is a pure
+    function of its arguments.
+    """
+    digest = hashlib.sha256(f"{seed}:{stream}:{index}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def _smooth_noise(seed: int, stream: str, time: float) -> float:
+    """Noise linearly interpolated between 3-hour block midpoints."""
+    position = time / NOISE_BLOCK_S - 0.5
+    lower = math.floor(position)
+    frac = position - lower
+    a = _block_noise(seed, stream, lower)
+    b = _block_noise(seed, stream, lower + 1)
+    return a * (1.0 - frac) + b * frac
+
+
+@dataclass
+class WeatherConfig:
+    """Tunable parameters of the synthetic climate."""
+
+    #: Site latitude in degrees north.
+    latitude_deg: float = 64.3
+    #: Minimum cloud transmission (fully overcast).
+    cloud_min_transmission: float = 0.2
+    #: Mean wind speed in summer, m/s.
+    wind_mean_summer_ms: float = 5.0
+    #: Mean wind speed in winter, m/s.
+    wind_mean_winter_ms: float = 9.0
+    #: Fraction of 3-hour blocks that are storms.
+    storm_probability: float = 0.06
+    #: Wind multiplier during storm blocks.
+    storm_multiplier: float = 2.5
+    #: Mean air temperature of the warmest day, °C.
+    temp_summer_c: float = 4.0
+    #: Mean air temperature of the coldest day, °C.
+    temp_winter_c: float = -10.0
+    #: Day of year of peak warmth.
+    temp_peak_doy: int = 200
+    #: Peak-to-mean diurnal temperature amplitude, °C.
+    temp_diurnal_c: float = 2.0
+    #: Random temperature excursion amplitude, °C.
+    temp_noise_c: float = 3.0
+    #: Fraction of days with precipitation.
+    precip_probability: float = 0.45
+    #: Snow accumulated by one full-precipitation cold day, metres.
+    snowfall_m_per_day: float = 0.06
+    #: Snow melted per positive degree-day, metres.
+    melt_m_per_degree_day: float = 0.01
+    #: Initial snow depth at the epoch, metres.
+    initial_snow_m: float = 0.0
+
+
+class IcelandWeather:
+    """Deterministic weather provider for one site."""
+
+    def __init__(self, config: WeatherConfig | None = None, seed: int = 0) -> None:
+        self.config = config or WeatherConfig()
+        self.seed = int(seed)
+        self._snow_cache: List[float] = [self.config.initial_snow_m]
+
+    # ------------------------------------------------------------------
+    # Solar
+    # ------------------------------------------------------------------
+    def solar_elevation_deg(self, time: float) -> float:
+        """Sun elevation above the horizon in degrees (clear sky geometry)."""
+        doy = day_of_year(time)
+        declination = -23.44 * math.cos(math.radians(360.0 / 365.0 * (doy + 10)))
+        hour_angle = (fraction_of_day(time) - 0.5) * 360.0
+        lat = math.radians(self.config.latitude_deg)
+        dec = math.radians(declination)
+        sin_elev = math.sin(lat) * math.sin(dec) + math.cos(lat) * math.cos(dec) * math.cos(
+            math.radians(hour_angle)
+        )
+        return math.degrees(math.asin(max(-1.0, min(1.0, sin_elev))))
+
+    def cloud_transmission(self, time: float) -> float:
+        """Fraction of clear-sky irradiance passing the cloud deck, in [min, 1]."""
+        noise = _smooth_noise(self.seed, "cloud", time)
+        low = self.config.cloud_min_transmission
+        return low + (1.0 - low) * noise
+
+    def solar_factor(self, time: float) -> float:
+        """Panel output as a fraction of rating, in [0, 1]."""
+        elevation = self.solar_elevation_deg(time)
+        if elevation <= 0:
+            return 0.0
+        return math.sin(math.radians(elevation)) * self.cloud_transmission(time)
+
+    # ------------------------------------------------------------------
+    # Wind
+    # ------------------------------------------------------------------
+    def wind_speed(self, time: float) -> float:
+        """Wind speed in m/s, seasonal with gusts and storm blocks."""
+        cfg = self.config
+        doy = day_of_year(time)
+        winterness = 0.5 * (1.0 + math.cos(2.0 * math.pi * (doy - 15) / 365.0))
+        mean = cfg.wind_mean_summer_ms + winterness * (
+            cfg.wind_mean_winter_ms - cfg.wind_mean_summer_ms
+        )
+        gust = 0.4 + 1.2 * _smooth_noise(self.seed, "wind", time)
+        block = math.floor(time / NOISE_BLOCK_S)
+        storm = (
+            cfg.storm_multiplier
+            if _block_noise(self.seed, "storm", block) < cfg.storm_probability
+            else 1.0
+        )
+        return max(0.0, mean * gust * storm)
+
+    # ------------------------------------------------------------------
+    # Temperature
+    # ------------------------------------------------------------------
+    def temperature_c(self, time: float) -> float:
+        """Air temperature at the station in °C."""
+        cfg = self.config
+        doy = day_of_year(time)
+        seasonal_phase = math.cos(2.0 * math.pi * (doy - cfg.temp_peak_doy) / 365.0)
+        mean = 0.5 * (cfg.temp_summer_c + cfg.temp_winter_c)
+        amplitude = 0.5 * (cfg.temp_summer_c - cfg.temp_winter_c)
+        seasonal = mean + amplitude * seasonal_phase
+        diurnal = cfg.temp_diurnal_c * math.sin(2.0 * math.pi * (fraction_of_day(time) - 0.25))
+        noise = cfg.temp_noise_c * (2.0 * _smooth_noise(self.seed, "temp", time) - 1.0)
+        return seasonal + diurnal + noise
+
+    # ------------------------------------------------------------------
+    # Snow
+    # ------------------------------------------------------------------
+    def _day_index(self, time: float) -> int:
+        return max(0, int(time // DAY))
+
+    def _extend_snow_cache(self, day_index: int) -> None:
+        cfg = self.config
+        while len(self._snow_cache) <= day_index:
+            day = len(self._snow_cache) - 1
+            midday = (day + 0.5) * DAY
+            depth = self._snow_cache[-1]
+            temp = self.temperature_c(midday)
+            precipitating = _block_noise(self.seed, "precip", day) < cfg.precip_probability
+            if precipitating and temp < 0.5:
+                intensity = _block_noise(self.seed, "precip_amount", day)
+                depth += cfg.snowfall_m_per_day * (0.3 + 0.7 * intensity)
+            if temp > 0:
+                depth -= cfg.melt_m_per_degree_day * temp
+            self._snow_cache.append(max(0.0, depth))
+
+    def snow_depth(self, time: float) -> float:
+        """Snow depth at the station in metres (daily resolution)."""
+        index = self._day_index(time)
+        self._extend_snow_cache(index)
+        return self._snow_cache[index]

@@ -1,0 +1,32 @@
+"""The dGPS subsystem: receivers, reading files, differential processing.
+
+Differential GPS drives the whole architecture (Section II): the *reference
+station* records at a known fixed location while the *base station* rides
+the moving ice; post-processing the simultaneous recordings yields
+centimetre-level ice positions, revealing diurnal and stick-slip velocity
+structure.  The receiver model reproduces the operational facts the paper's
+system handles:
+
+- a reading is ~165 KB, varying with the number of visible satellites;
+- readings land on the receiver's internal CF card and must be pulled to
+  the Gumstix over a slow serial link (time, power and backlog);
+- the receiver starts recording automatically on power-up, so the MSP430
+  can drive it without the Gumstix (Section II's drift-free design);
+- a powered receiver can also serve a time fix to repair a reset RTC
+  (Section IV).
+"""
+
+from repro.gps.dgps import DgpsSolution, differential_solve, raw_solve, velocity_series
+from repro.gps.files import GpsReading, reading_file_name
+from repro.gps.receiver import GpsReceiver, TimeFixFailed
+
+__all__ = [
+    "DgpsSolution",
+    "GpsReading",
+    "GpsReceiver",
+    "TimeFixFailed",
+    "differential_solve",
+    "raw_solve",
+    "reading_file_name",
+    "velocity_series",
+]

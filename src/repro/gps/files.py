@@ -1,0 +1,78 @@
+"""dGPS reading files: the unit of storage, transfer and processing.
+
+"Each dGPS reading is approximately 165KB, although the exact size varies
+depending on the number of satellites available at the time of the reading"
+(Section III).  File size is what couples the dGPS to everything else:
+reading power, serial-transfer time, GPRS volume and the 2-hour window
+arithmetic all scale with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Nominal reading size at the nominal satellite count (Section III).
+NOMINAL_READING_BYTES = 165_000
+#: Satellite count at which a reading has its nominal size.
+NOMINAL_SATELLITES = 9
+
+
+@dataclass(frozen=True)
+class GpsReading:
+    """One dGPS observation window recorded by a receiver.
+
+    Attributes
+    ----------
+    station:
+        Recording station name (``"base"`` or ``"reference"``).
+    start_time, duration_s:
+        True simulated window (receivers stamp files with satellite time,
+        which is correct even when the station RTC is wrong).
+    satellites:
+        Visible satellite count during the window.
+    size_bytes:
+        File size (satellite-count dependent).
+    observed_position_m:
+        Raw (undifferenced) along-flow position estimate, metres.
+    common_error_m:
+        The atmospheric/orbit error shared by simultaneous observers —
+        carried so the differential solver can cancel it exactly, never
+        read by station code.
+    private_error_m:
+        Receiver-local noise remaining after differencing.
+    """
+
+    station: str
+    start_time: float
+    duration_s: float
+    satellites: int
+    size_bytes: int
+    observed_position_m: float
+    common_error_m: float
+    private_error_m: float
+
+    @property
+    def end_time(self) -> float:
+        """True end of the observation window."""
+        return self.start_time + self.duration_s
+
+    def overlaps(self, other: "GpsReading", min_overlap_s: float = 60.0) -> bool:
+        """Whether two readings observed (nearly) the same window.
+
+        Differential processing needs simultaneous data; the paper's
+        synchronisation machinery exists to make this true daily.
+        """
+        overlap = min(self.end_time, other.end_time) - max(self.start_time, other.start_time)
+        return overlap >= min_overlap_s
+
+
+def reading_size_bytes(satellites: int) -> int:
+    """File size for a reading with ``satellites`` visible."""
+    if satellites < 0:
+        raise ValueError("satellite count must be >= 0")
+    return int(NOMINAL_READING_BYTES * satellites / NOMINAL_SATELLITES)
+
+
+def reading_file_name(station: str, start_time: float) -> str:
+    """Canonical file name for a reading, sortable by time."""
+    return f"gps/{station}/{int(start_time):012d}.obs"

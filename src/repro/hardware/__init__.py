@@ -1,0 +1,34 @@
+"""Hardware models of the Gumsense platform.
+
+The Gumsense board (ref [8] of the paper) pairs two processors:
+
+- an **MSP430** microcontroller that is always powered, samples the battery
+  and local sensors, keeps the real-time clock and the wake schedule (in
+  RAM — lost on total battery exhaustion), and switches the power rails of
+  everything else;
+- a **Gumstix** ARM/Linux computer (~900 mW, no useful sleep mode) that is
+  only powered for the daily heavy work: probe communications, dGPS file
+  handling and GPRS transfers.
+
+This package models both processors, the I2C command channel between them,
+the real-time clock (including its reset-to-1970 behaviour), and the
+compact-flash card with its corruption failure mode (Section VI).
+"""
+
+from repro.hardware.gumstix import Gumstix
+from repro.hardware.i2c import I2CBus, I2CTransaction
+from repro.hardware.msp430 import Msp430, ScheduleEntry
+from repro.hardware.rtc import RealTimeClock
+from repro.hardware.storage import CompactFlashCard, StorageCorruption, StoredFile
+
+__all__ = [
+    "CompactFlashCard",
+    "Gumstix",
+    "I2CBus",
+    "I2CTransaction",
+    "Msp430",
+    "RealTimeClock",
+    "ScheduleEntry",
+    "StorageCorruption",
+    "StoredFile",
+]

@@ -1,0 +1,127 @@
+"""The Gumstix ARM/Linux computer.
+
+400-600 MHz, ~900 mW while running and "no useful sleep mode" — so the
+platform's whole power story is that this board is only powered when there
+is work for it (Section II).  The model tracks the power rail, a boot
+delay, the main job generator launched on boot, and unclean-shutdown
+effects on the CF card.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.energy.bus import PowerBus
+from repro.energy.components import GUMSTIX
+from repro.hardware.storage import CompactFlashCard
+from repro.sim.kernel import Simulation
+from repro.sim.process import Process
+
+
+class Gumstix:
+    """A power-switched Linux computer running one job per power cycle.
+
+    Parameters
+    ----------
+    sim:
+        Kernel.
+    bus:
+        The station's power bus; a ``power_w``-sized load is registered.
+    name:
+        Trace prefix, e.g. ``"base.gumstix"``.
+    boot_s:
+        Boot time from power-on to the job starting.
+    cf_card:
+        Data storage card (for the corruption-on-unclean-shutdown roll).
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        bus: PowerBus,
+        name: str = "gumstix",
+        boot_s: float = 60.0,
+        power_w: float = GUMSTIX.power_w,
+        cf_card: Optional[CompactFlashCard] = None,
+    ) -> None:
+        self.sim = sim
+        self.bus = bus
+        self.name = name
+        self.boot_s = boot_s
+        self.cf_card = cf_card if cf_card is not None else CompactFlashCard(name=f"{name}.cf")
+        self.load = bus.add_load(name, power_w)
+        #: The main program, set by the station: a zero-argument callable
+        #: returning a generator (the daily run sequence).
+        self.on_boot: Optional[Callable[[], Generator]] = None
+        self._session: Optional[Process] = None
+        self._powered_since: Optional[float] = None
+        self.power_cycles = 0
+        self.unclean_shutdowns = 0
+        self.total_on_time_s = 0.0
+        #: Called as ``callback(clean)`` after every power-off; stations use
+        #: this to drop peripheral rails (modem, GPS) with the computer.
+        self.on_power_off: list = []
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def is_on(self) -> bool:
+        """Whether the board is currently powered."""
+        return self._powered_since is not None
+
+    def uptime_s(self) -> float:
+        """Seconds since power-on (0 if off)."""
+        if self._powered_since is None:
+            return 0.0
+        return self.sim.now - self._powered_since
+
+    # ------------------------------------------------------------------
+    # Power control (driven by the MSP430)
+    # ------------------------------------------------------------------
+    def power_on(self) -> Optional[Process]:
+        """Apply power: boot, then run ``on_boot``.  Returns the session process."""
+        if self.is_on:
+            return self._session
+        self._powered_since = self.sim.now
+        self.power_cycles += 1
+        self.bus.loads.switch_on(self.name)
+        self.sim.trace.emit(self.name, "power_on")
+        self._session = self.sim.process(self._boot_and_run(), name=f"{self.name}.session")
+        return self._session
+
+    def power_off(self, clean: bool = True) -> None:
+        """Remove power.
+
+        ``clean=False`` models the MSP430 cutting the rail mid-task (the
+        2-hour watchdog, or a brown-out): the running job is killed and the
+        CF card takes a corruption roll.
+        """
+        if not self.is_on:
+            return
+        self.total_on_time_s += self.uptime_s()
+        self._powered_since = None
+        self.bus.loads.switch_off(self.name)
+        if self._session is not None and self._session.is_alive:
+            self._session.kill()
+        self._session = None
+        if clean:
+            self.sim.trace.emit(self.name, "power_off_clean")
+        else:
+            self.unclean_shutdowns += 1
+            roll = float(self.sim.rng.stream(f"{self.name}.cf").random())
+            corrupted = self.cf_card.unclean_power_removal(roll)
+            self.sim.trace.emit(self.name, "power_off_unclean", cf_corrupted=corrupted)
+        for callback in list(self.on_power_off):
+            callback(clean)
+
+    def _boot_and_run(self):
+        yield self.sim.timeout(self.boot_s)
+        self.sim.trace.emit(self.name, "booted")
+        if self.on_boot is not None:
+            yield self.sim.process(self.on_boot(), name=f"{self.name}.job")
+        # Job finished normally: the software halts the board and the MSP430
+        # removes power.
+        self.sim.trace.emit(self.name, "job_complete", uptime_s=self.uptime_s())
+        self._session = None  # avoid self-kill in power_off
+        self.power_off(clean=True)

@@ -1,0 +1,81 @@
+"""The I2C command channel between the Gumstix and the MSP430.
+
+Fig 2 of the paper shows the two processors joined by I2C: the Gumstix uses
+it to download the buffered voltage/sensor logs, rewrite the wake schedule
+and read/set the RTC.  The bus model is a thin, synchronous wrapper that
+records every transaction (useful both for tests and for reproducing the
+Fig 2 division of I/O) and charges a small per-byte time cost to the caller
+when used from a process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+from repro.hardware.msp430 import Msp430, ScheduleEntry
+from repro.sim.kernel import Simulation
+
+
+@dataclass(frozen=True)
+class I2CTransaction:
+    """One logged bus transaction."""
+
+    time: float
+    command: str
+    nbytes: int
+
+
+class I2CBus:
+    """Synchronous command interface from the Gumstix to the MSP430."""
+
+    #: Effective payload rate (100 kHz I2C less protocol overhead).
+    BYTES_PER_SECOND = 8000.0
+
+    def __init__(self, sim: Simulation, msp: Msp430, name: str = "i2c") -> None:
+        self.sim = sim
+        self.msp = msp
+        self.name = name
+        self.transactions: List[I2CTransaction] = []
+
+    def _log(self, command: str, nbytes: int) -> None:
+        self.transactions.append(I2CTransaction(self.sim.now, command, nbytes))
+
+    def transfer_time_s(self, nbytes: int) -> float:
+        """Bus time to move ``nbytes`` (callers may yield a timeout of this)."""
+        return nbytes / self.BYTES_PER_SECOND
+
+    # ------------------------------------------------------------------
+    # Commands (mirroring the Fig 2 I/O split)
+    # ------------------------------------------------------------------
+    def read_voltage_log(self, consume: bool = True) -> List[Tuple[float, float]]:
+        """Download the MSP430's buffered battery-voltage samples."""
+        log = self.msp.read_voltage_log(consume=consume)
+        self._log("read_voltage_log", nbytes=8 * len(log))
+        return log
+
+    def read_sensor_log(self, consume: bool = True) -> List[Tuple[float, str, float]]:
+        """Download the MSP430's buffered sensor samples."""
+        log = self.msp.read_sensor_log(consume=consume)
+        self._log("read_sensor_log", nbytes=12 * len(log))
+        return log
+
+    def set_schedule(self, entries: List[ScheduleEntry]) -> None:
+        """Rewrite the MSP430's RAM wake schedule."""
+        self.msp.set_schedule(entries)
+        self._log("set_schedule", nbytes=4 * len(entries))
+
+    def read_rtc(self):
+        """Read the MSP430's believed time."""
+        self._log("read_rtc", nbytes=8)
+        return self.msp.rtc.now()
+
+    def set_rtc(self, when) -> None:
+        """Set the MSP430's RTC (after a GPS time fix)."""
+        self.msp.rtc.set_to(when)
+        self._log("set_rtc", nbytes=8)
+
+    def read_battery_voltage(self) -> float:
+        """Immediate ADC reading of the battery terminal voltage."""
+        self._log("read_battery_voltage", nbytes=2)
+        return self.msp.battery_voltage_now()

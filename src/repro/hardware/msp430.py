@@ -1,0 +1,252 @@
+"""The MSP430 supervisor: sensing, power control and the wake schedule.
+
+The MSP430 is the only always-on part of a Gumsense station.  It:
+
+- samples the battery voltage every 30 minutes into a RAM buffer
+  (Section III) along with the station's local sensors;
+- holds the wake schedule **in RAM** — scheduled times-of-day at which it
+  powers the Gumstix or the dGPS receiver.  RAM (and the RTC) are lost on
+  total battery exhaustion, which is exactly the failure Section IV's
+  automatic schedule-resetting recovers from;
+- enforces the safety maximum runtime: the Gumstix is never allowed to run
+  longer than two hours, so a hung transfer cannot flatten the battery
+  (Section VI);
+- schedules dGPS readings directly, so Gumstix-side software timing cannot
+  drift the dGPS synchronisation between stations (Section II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.energy.bus import PowerBus
+from repro.hardware.rtc import RealTimeClock
+from repro.sim.kernel import Simulation
+from repro.sim.simtime import DAY, HOUR, MINUTE
+
+
+@dataclass(frozen=True)
+class ScheduleEntry:
+    """One RAM schedule slot: run ``action`` daily at ``hour`` (RTC time)."""
+
+    hour: float
+    action: str
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hour < 24.0:
+            raise ValueError(f"hour must be in [0, 24), got {self.hour}")
+
+
+class Msp430:
+    """The always-on supervisor microcontroller.
+
+    Parameters
+    ----------
+    sim, bus:
+        Kernel and the station power bus.
+    name:
+        Trace prefix, e.g. ``"base.msp430"``.
+    sample_interval_s:
+        Battery/sensor sampling period (paper: 30 minutes).
+    max_gumstix_runtime_s:
+        The emergency cut-off (paper: 2 hours).
+    flash_default_schedule:
+        The schedule restored from flash after a brown-out reboot.  The RAM
+        schedule is gone; this minimal default only wakes the Gumstix so the
+        recovery logic (:mod:`repro.core.recovery`) can run.
+    """
+
+    #: RAM voltage/sensor buffer capacity (samples).
+    BUFFER_CAPACITY = 8192
+
+    def __init__(
+        self,
+        sim: Simulation,
+        bus: PowerBus,
+        name: str = "msp430",
+        sample_interval_s: float = 30.0 * MINUTE,
+        max_gumstix_runtime_s: float = 2.0 * HOUR,
+        rtc_drift_ppm: float = 0.0,
+        flash_default_schedule: Optional[List[ScheduleEntry]] = None,
+    ) -> None:
+        self.sim = sim
+        self.bus = bus
+        self.name = name
+        self.sample_interval_s = sample_interval_s
+        self.max_gumstix_runtime_s = max_gumstix_runtime_s
+        self.rtc = RealTimeClock(sim, drift_ppm=rtc_drift_ppm, name=f"{name}.rtc")
+        self.flash_default_schedule = flash_default_schedule or [
+            ScheduleEntry(hour=12.0, action="wake_gumstix")
+        ]
+        # --- RAM state (lost on brown-out) ---
+        self.schedule: List[ScheduleEntry] = list(self.flash_default_schedule)
+        self.voltage_log: List[Tuple[float, float]] = []  # (rtc_hours, volts)
+        self.sensor_log: List[Tuple[float, str, float]] = []  # (rtc_hours, sensor, value)
+        # --- wiring ---
+        self.actions: Dict[str, Callable[[], None]] = {}
+        self.sensors: List = []  # objects with .name and .sample(time)->float
+        self.halted = False
+        self.watchdog_cuts = 0
+        self._schedule_generation = 0
+        self._scheduler_wait = None
+        self._resume = sim.event(f"{name}.resume")
+        bus.on_brownout.append(self._on_brownout)
+        bus.on_recovery.append(self._on_recovery)
+        sim.process(self._sampler(), name=f"{name}.sampler")
+        sim.process(self._scheduler(), name=f"{name}.scheduler")
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def register_action(self, name: str, callback: Callable[[], None]) -> None:
+        """Bind a schedule action name to a callback (e.g. power the Gumstix)."""
+        self.actions[name] = callback
+
+    def attach_sensor(self, sensor) -> None:
+        """Attach a station sensor; it will be sampled each interval."""
+        self.sensors.append(sensor)
+
+    # ------------------------------------------------------------------
+    # RAM schedule management (the Gumstix calls these over I2C)
+    # ------------------------------------------------------------------
+    def set_schedule(self, entries: List[ScheduleEntry]) -> None:
+        """Replace the RAM schedule."""
+        self.schedule = list(entries)
+        self._schedule_generation += 1
+        self._kick_scheduler()
+        self.sim.trace.emit(
+            self.name, "schedule_set", entries=[(e.hour, e.action) for e in entries]
+        )
+
+    def read_voltage_log(self, consume: bool = True) -> List[Tuple[float, float]]:
+        """The buffered (rtc_hours, volts) samples; cleared if ``consume``."""
+        log = list(self.voltage_log)
+        if consume:
+            self.voltage_log.clear()
+        return log
+
+    def read_sensor_log(self, consume: bool = True) -> List[Tuple[float, str, float]]:
+        """The buffered sensor samples; cleared if ``consume``."""
+        log = list(self.sensor_log)
+        if consume:
+            self.sensor_log.clear()
+        return log
+
+    def battery_voltage_now(self) -> float:
+        """An immediate ADC reading of the battery terminal voltage."""
+        return self.bus.terminal_voltage()
+
+    # ------------------------------------------------------------------
+    # Brown-out life-cycle
+    # ------------------------------------------------------------------
+    def _on_brownout(self) -> None:
+        self.halted = True
+        self.schedule = []
+        self.voltage_log.clear()
+        self.sensor_log.clear()
+        self.rtc.reset()
+        self.sim.trace.emit(self.name, "halted")
+
+    def _on_recovery(self) -> None:
+        if not self.halted:
+            return
+        self.halted = False
+        # Reboot: RAM schedule restored from the flash default; the RTC stays
+        # wrong (1970 + elapsed) until recovery logic fixes it.
+        self.schedule = list(self.flash_default_schedule)
+        self._schedule_generation += 1
+        self.sim.trace.emit(self.name, "rebooted")
+        resume, self._resume = self._resume, self.sim.event(f"{self.name}.resume")
+        resume.succeed()
+
+    def _wait_if_halted(self):
+        while self.halted:
+            yield self._resume
+
+    # ------------------------------------------------------------------
+    # Background processes
+    # ------------------------------------------------------------------
+    def _sampler(self):
+        while True:
+            yield self.sim.timeout(self.sample_interval_s)
+            yield from self._wait_if_halted()
+            rtc_hours = self.rtc.now().timestamp() / 3600.0
+            volts = self.bus.terminal_voltage()
+            self.voltage_log.append((rtc_hours, volts))
+            self.sim.trace.emit(self.name, "voltage_sample", volts=round(volts, 4))
+            for sensor in self.sensors:
+                value = sensor.sample(self.sim.now)
+                self.sensor_log.append((rtc_hours, sensor.name, value))
+            excess = len(self.voltage_log) - self.BUFFER_CAPACITY
+            if excess > 0:
+                del self.voltage_log[:excess]
+            excess = len(self.sensor_log) - self.BUFFER_CAPACITY
+            if excess > 0:
+                del self.sensor_log[:excess]
+
+    def _kick_scheduler(self) -> None:
+        if self._scheduler_wait is not None and not self._scheduler_wait.triggered:
+            self._scheduler_wait.succeed("schedule_changed")
+
+    def _next_due(self) -> Optional[Tuple[float, ScheduleEntry]]:
+        """(delay_seconds, entry) for the next schedule slot, on the RTC clock."""
+        if not self.schedule:
+            return None
+        believed = self.rtc.now()
+        now_hours = believed.hour + believed.minute / 60.0 + believed.second / 3600.0
+        best_delay, best_entry = None, None
+        for entry in self.schedule:
+            delta_hours = entry.hour - now_hours
+            if delta_hours <= 1e-9:
+                delta_hours += 24.0
+            delay = delta_hours * HOUR
+            if best_delay is None or delay < best_delay:
+                best_delay, best_entry = delay, entry
+        assert best_entry is not None
+        return best_delay, best_entry
+
+    def _scheduler(self):
+        while True:
+            yield from self._wait_if_halted()
+            due = self._next_due()
+            if due is None:
+                # No schedule: wait for a change.
+                self._scheduler_wait = self.sim.event(f"{self.name}.sched_wait")
+                yield self._scheduler_wait
+                continue
+            delay, entry = due
+            generation = self._schedule_generation
+            self._scheduler_wait = self.sim.event(f"{self.name}.sched_wait")
+            timeout = self.sim.timeout(delay)
+            yield self.sim.any_of([timeout, self._scheduler_wait])
+            if self.halted or self._schedule_generation != generation:
+                continue  # schedule rewritten while waiting: recompute
+            if not timeout.triggered:
+                continue
+            self.sim.trace.emit(self.name, "schedule_fire", action=entry.action, hour=entry.hour)
+            callback = self.actions.get(entry.action)
+            if callback is None:
+                self.sim.trace.emit(self.name, "schedule_action_missing", action=entry.action)
+            else:
+                callback()
+
+    # ------------------------------------------------------------------
+    # Gumstix supervision
+    # ------------------------------------------------------------------
+    def supervise_gumstix(self, gumstix) -> None:
+        """Power the Gumstix and enforce the 2-hour emergency cut-off."""
+        if self.halted or gumstix.is_on:
+            return
+        gumstix.power_on()
+        self.sim.process(self._watchdog(gumstix), name=f"{self.name}.watchdog")
+
+    def _watchdog(self, gumstix):
+        started = self.sim.now
+        yield self.sim.timeout(self.max_gumstix_runtime_s)
+        if gumstix.is_on and gumstix.uptime_s() >= self.max_gumstix_runtime_s - 1e-6:
+            self.watchdog_cuts += 1
+            self.sim.trace.emit(
+                self.name, "watchdog_cut", after_s=self.sim.now - started
+            )
+            gumstix.power_off(clean=False)

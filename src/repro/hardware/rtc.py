@@ -1,0 +1,78 @@
+"""Real-time clock with drift and power-loss reset.
+
+Section IV of the paper: after total battery exhaustion "the real time
+clock will have reset to 0 which is 01/01/1970 00:00".  The stations detect
+this by comparing the RTC against the last time the system successfully ran,
+then restore the clock from a GPS time fix.
+
+The model keeps the *believed* time as an affine function of true simulated
+time: a sync point plus elapsed-time scaled by a drift rate.  Drift matters
+because dGPS readings on the two stations must stay synchronised without any
+direct link between them.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Optional
+
+from repro.sim.kernel import Simulation
+from repro.sim.simtime import RTC_RESET_DATETIME
+
+
+class RealTimeClock:
+    """A settable, drifting clock derived from the simulation's true clock.
+
+    Parameters
+    ----------
+    sim:
+        Kernel (supplies true time and the epoch).
+    drift_ppm:
+        Clock drift in parts per million.  Positive runs fast.
+    """
+
+    def __init__(self, sim: Simulation, drift_ppm: float = 0.0, name: str = "rtc") -> None:
+        self.sim = sim
+        self.name = name
+        self.drift_ppm = drift_ppm
+        # Starts correct: synced to true time at construction.
+        self._sync_true_time = sim.now
+        self._believed_at_sync = sim.utcnow()
+
+    def now(self) -> _dt.datetime:
+        """The believed current UTC time."""
+        elapsed = self.sim.now - self._sync_true_time
+        believed_elapsed = elapsed * (1.0 + self.drift_ppm * 1e-6)
+        return self._believed_at_sync + _dt.timedelta(seconds=believed_elapsed)
+
+    def error_seconds(self) -> float:
+        """Believed minus true time, in seconds (positive = clock fast)."""
+        return (self.now() - self.sim.utcnow()).total_seconds()
+
+    def set_to(self, when: _dt.datetime) -> None:
+        """Set the clock (e.g. from a GPS time fix)."""
+        if when.tzinfo is None:
+            when = when.replace(tzinfo=_dt.timezone.utc)
+        self._sync_true_time = self.sim.now
+        self._believed_at_sync = when
+        self.sim.trace.emit(self.name, "rtc_set", believed=when.isoformat())
+
+    def set_from_true_time(self, offset_s: float = 0.0) -> None:
+        """Sync to the true simulated time, optionally offset (clock skew)."""
+        self.set_to(self.sim.utcnow() + _dt.timedelta(seconds=offset_s))
+
+    def reset(self) -> None:
+        """Power-loss reset: the clock restarts at the Unix epoch, 1/1/1970."""
+        self._sync_true_time = self.sim.now
+        self._believed_at_sync = RTC_RESET_DATETIME
+        self.sim.trace.emit(self.name, "rtc_reset")
+
+    @property
+    def is_pre_deployment(self) -> bool:
+        """True if the believed time is before the simulation epoch.
+
+        A clock reporting 1970 is obviously untrusted; the *robust* check the
+        paper uses (believed time earlier than the recorded last run) lives
+        in :mod:`repro.core.recovery`.
+        """
+        return self.now() < self.sim.clock.epoch

@@ -1,0 +1,127 @@
+"""Compact-flash storage with the paper's corruption failure mode.
+
+Each station has a 4 GB CF card for data buffering, and the dGPS has its own
+internal card.  Section VI records that one card "had become corrupted" —
+the cause unknown, the data ultimately recoverable.  The model exposes that
+life-cycle: a corruption flag (probabilistically raised on unclean power
+removal), failing reads while corrupted, and a recovery operation that
+restores the files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+
+class StorageCorruption(Exception):
+    """Raised when reading a corrupted card."""
+
+
+@dataclass
+class StoredFile:
+    """One file on a card.
+
+    ``payload`` carries arbitrary structured content (sensor readings, GPS
+    observations); ``size_bytes`` is what transfer-time and capacity
+    calculations use.
+    """
+
+    name: str
+    size_bytes: int
+    created: float
+    payload: Any = None
+
+
+class CompactFlashCard:
+    """A fixed-capacity file store with corruption and recovery."""
+
+    def __init__(
+        self,
+        capacity_bytes: int = 4_000_000_000,
+        name: str = "cf",
+        corruption_probability: float = 0.0,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.name = name
+        #: Probability that one unclean power removal corrupts the card.
+        self.corruption_probability = corruption_probability
+        self.corrupted = False
+        self._files: Dict[str, StoredFile] = {}
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        """Total size of stored files."""
+        return sum(f.size_bytes for f in self._files.values())
+
+    @property
+    def free_bytes(self) -> int:
+        """Remaining capacity."""
+        return self.capacity_bytes - self.used_bytes
+
+    # ------------------------------------------------------------------
+    # File operations
+    # ------------------------------------------------------------------
+    def write(self, name: str, size_bytes: int, created: float, payload: Any = None) -> StoredFile:
+        """Store a file; replaces any existing file of the same name."""
+        if size_bytes < 0:
+            raise ValueError("size must be >= 0")
+        existing = self._files.get(name)
+        freed = existing.size_bytes if existing else 0
+        if size_bytes - freed > self.free_bytes:
+            raise IOError(f"{self.name}: card full ({self.free_bytes} B free, need {size_bytes})")
+        stored = StoredFile(name=name, size_bytes=size_bytes, created=created, payload=payload)
+        self._files[name] = stored
+        return stored
+
+    def read(self, name: str) -> StoredFile:
+        """Read a file.  Raises :class:`StorageCorruption` while corrupted."""
+        if self.corrupted:
+            raise StorageCorruption(f"{self.name}: filesystem corrupted")
+        if name not in self._files:
+            raise FileNotFoundError(f"{self.name}: no file {name!r}")
+        return self._files[name]
+
+    def exists(self, name: str) -> bool:
+        """Whether a file of this name is present (ignores corruption)."""
+        return name in self._files
+
+    def delete(self, name: str) -> None:
+        """Remove a file."""
+        if name not in self._files:
+            raise FileNotFoundError(f"{self.name}: no file {name!r}")
+        del self._files[name]
+
+    def list_files(self, prefix: str = "") -> List[StoredFile]:
+        """Files whose names start with ``prefix``, oldest first.
+
+        Raises :class:`StorageCorruption` while corrupted — a corrupted card
+        cannot be enumerated any more than it can be read.
+        """
+        if self.corrupted:
+            raise StorageCorruption(f"{self.name}: filesystem corrupted")
+        matches = [f for f in self._files.values() if f.name.startswith(prefix)]
+        return sorted(matches, key=lambda f: (f.created, f.name))
+
+    # ------------------------------------------------------------------
+    # Corruption life-cycle
+    # ------------------------------------------------------------------
+    def unclean_power_removal(self, roll: float) -> bool:
+        """Called on unexpected power loss; corrupts the card if
+        ``roll < corruption_probability``.  Returns whether corruption
+        occurred.  ``roll`` is supplied by the caller's RNG stream so the
+        card itself stays deterministic."""
+        if roll < self.corruption_probability:
+            self.corrupted = True
+        return self.corrupted
+
+    def recover(self) -> List[StoredFile]:
+        """Off-line recovery (the field-trip procedure): clears the
+        corruption flag and returns the recovered files."""
+        self.corrupted = False
+        return list(self._files.values())

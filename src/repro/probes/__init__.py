@@ -1,0 +1,31 @@
+"""Subglacial probes: sensing, buffering, task life-cycle, reliability.
+
+The probes sit ~70 m under the ice surface, sample conductivity, tilt and
+pressure, and buffer readings until the base station collects them through
+the lossy probe radio.  Of the seven probes deployed in summer 2008, four
+were still alive after one year and two were "producing data after 18
+months under the ice" — the :mod:`repro.probes.reliability` model is
+calibrated to exactly that survival curve.
+"""
+
+from repro.probes.commands import CommandOutcome, ProbeCommander
+from repro.probes.probe import Probe, WiredProbe
+from repro.probes.reliability import (
+    PAPER_SCALE_DAYS,
+    PAPER_SHAPE,
+    expected_survivors,
+    monte_carlo_survival,
+    survival_fraction,
+)
+
+__all__ = [
+    "CommandOutcome",
+    "PAPER_SCALE_DAYS",
+    "PAPER_SHAPE",
+    "Probe",
+    "ProbeCommander",
+    "WiredProbe",
+    "expected_survivors",
+    "monte_carlo_survival",
+    "survival_fraction",
+]

@@ -1,0 +1,186 @@
+"""The subglacial probe: sampling, buffering and the task life-cycle.
+
+A probe samples its sensor suite on a fixed interval and buffers the
+readings.  When the base station opens a session, the buffered readings are
+frozen into a *task*; the task stays outstanding — and its readings stay in
+probe memory — until the base confirms it holds every reading.  That is the
+property that saved the 2009 summer fetch: "the task was not marked as
+complete in the probes; so many missing readings were obtained in
+subsequent days" (Section V).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.probes.reliability import sample_lifetime_days
+from repro.protocol.framing import Reading, TaskSnapshot
+from repro.sensors.base import Sensor
+from repro.sim.kernel import Simulation
+from repro.sim.simtime import DAY, MINUTE
+
+
+class Probe:
+    """One subglacial probe.
+
+    Parameters
+    ----------
+    sim:
+        Kernel.
+    probe_id:
+        Probe number (the paper's figures use 21, 24, 25).
+    sensors:
+        Sensor suite (see :func:`repro.sensors.make_probe_sensor_suite`).
+    sampling_interval_s:
+        Measurement period.  At the 30-minute default a probe accumulates
+        ~3000 readings in two months offline — the Section V scenario.
+    lifetime_days:
+        Fixed lifetime, or ``None`` to draw from the paper-calibrated
+        Weibull (stream ``probe.<id>.lifetime``).
+    clock_drift_ppm:
+        The probe's cheap oscillator drift.  Readings are stamped with the
+        probe's *believed* time, so an unsynchronised probe's data slides
+        off the true timeline — the reason the base station must keep the
+        probes synchronised ("The RTC has to be corrected for
+        synchronisation with the probes", Section IV).
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        probe_id: int,
+        sensors: List[Sensor],
+        sampling_interval_s: float = 30.0 * MINUTE,
+        lifetime_days: Optional[float] = None,
+        clock_drift_ppm: float = 0.0,
+    ) -> None:
+        self.sim = sim
+        self.probe_id = probe_id
+        self.sensors = sensors
+        self.sampling_interval_s = sampling_interval_s
+        self.clock_drift_ppm = clock_drift_ppm
+        self._clock_synced_at = sim.now
+        self._clock_error_at_sync = 0.0
+        if lifetime_days is None:
+            rng = sim.rng.stream(f"probe.{probe_id}.lifetime")
+            lifetime_days = sample_lifetime_days(rng)
+        self.dies_at = sim.now + lifetime_days * DAY
+        self._buffer: List[Reading] = []
+        self._active_task: Optional[TaskSnapshot] = None
+        self._next_task_id = 1
+        self.tasks_completed = 0
+        self.readings_taken = 0
+        sim.process(self._sampler(), name=f"probe.{probe_id}.sampler")
+
+    # ------------------------------------------------------------------
+    # Life and death
+    # ------------------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        """Whether the probe still responds (power/electronics intact)."""
+        return self.sim.now < self.dies_at
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    def clock_error_s(self) -> float:
+        """Believed-minus-true time, seconds (drift since the last sync)."""
+        elapsed = self.sim.now - self._clock_synced_at
+        return self._clock_error_at_sync + elapsed * self.clock_drift_ppm * 1e-6
+
+    def believed_time(self) -> float:
+        """The probe's own idea of the current time."""
+        return self.sim.now + self.clock_error_s()
+
+    def sync_clock(self, residual_s: float = 0.0) -> None:
+        """Time-sync from the base station (over the probe radio).
+
+        ``residual_s`` is the sync protocol's own accuracy limit.
+        """
+        self._clock_synced_at = self.sim.now
+        self._clock_error_at_sync = residual_s
+        self.sim.trace.emit(f"probe.{self.probe_id}", "clock_synced")
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def _sampler(self):
+        while True:
+            yield self.sim.timeout(self.sampling_interval_s)
+            if not self.is_alive:
+                return
+            channels = {sensor.name: sensor.sample(self.sim.now) for sensor in self.sensors}
+            self._buffer.append(
+                Reading(probe_id=self.probe_id, seq=-1, time=self.believed_time(),
+                        channels=channels)
+            )
+            self.readings_taken += 1
+
+    @property
+    def buffered_count(self) -> int:
+        """Readings waiting to be bundled into the next task."""
+        return len(self._buffer)
+
+    # ------------------------------------------------------------------
+    # Task life-cycle (the protocol's probe endpoint)
+    # ------------------------------------------------------------------
+    def task(self) -> Optional[TaskSnapshot]:
+        """The outstanding task, creating one from the buffer if needed.
+
+        Returns ``None`` when the probe is dead or has nothing to send.
+        """
+        if not self.is_alive:
+            return None
+        if self._active_task is None:
+            if not self._buffer:
+                return None
+            readings = [
+                Reading(probe_id=r.probe_id, seq=seq, time=r.time, channels=r.channels)
+                for seq, r in enumerate(self._buffer)
+            ]
+            self._active_task = TaskSnapshot(task_id=self._next_task_id, readings=readings)
+            self._next_task_id += 1
+            self._buffer = []
+        return self._active_task
+
+    def mark_complete(self, task_id: int) -> None:
+        """Retire the task: the base station holds every reading."""
+        if self._active_task is None or self._active_task.task_id != task_id:
+            return  # stale confirmation; ignore (idempotent)
+        self._active_task = None
+        self.tasks_completed += 1
+        self.sim.trace.emit(f"probe.{self.probe_id}", "task_complete", task=task_id)
+
+
+class WiredProbe:
+    """The wired probe: the base station's single-point-of-failure antenna.
+
+    Probe radio traffic passes through one wired probe; when it fails, the
+    base cannot talk to any probe ("the failure of the wired probe",
+    Section V — using several was ruled out "because of the lack of serial
+    ports").
+    """
+
+    def __init__(self, sim: Simulation, lifetime_days: Optional[float] = None) -> None:
+        self.sim = sim
+        if lifetime_days is None:
+            self.dies_at = float("inf")
+        else:
+            self.dies_at = sim.now + lifetime_days * DAY
+        self.repaired_at: Optional[float] = None
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether probe communications are possible at all."""
+        if self.repaired_at is not None and self.sim.now >= self.repaired_at:
+            return True
+        return self.sim.now < self.dies_at
+
+    def fail_now(self) -> None:
+        """Force an immediate failure (deep-snow damage scenario)."""
+        self.dies_at = min(self.dies_at, self.sim.now)
+        self.repaired_at = None
+
+    def schedule_repair(self, at_time: float) -> None:
+        """A field visit replaces the wired probe at ``at_time``."""
+        self.repaired_at = at_time

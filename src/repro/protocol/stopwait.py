@@ -1,0 +1,88 @@
+"""Stop-and-wait ACK baseline: what the NACK-free technique replaced.
+
+Every DATA packet is individually acknowledged; the sender retransmits
+until the ACK arrives or the per-reading retry budget is spent.  Under the
+probe link's loss rates this pays an ACK's airtime *and* a turnaround for
+every reading, and loses a reading whenever either direction fails
+repeatedly — the reference point for the E14 protocol ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.comms.probe_radio import ProbeRadioLink
+from repro.protocol.framing import ACK_BYTES, DATA_HEADER_BYTES, TaskSnapshot
+from repro.sim.events import Interrupt
+from repro.sim.kernel import Simulation
+
+
+@dataclass
+class StopWaitResult:
+    """Outcome of one stop-and-wait session."""
+
+    task_id: Optional[int] = None
+    total: int = 0
+    delivered: int = 0
+    failed: int = 0
+    complete: bool = False
+    duration_s: float = 0.0
+    airtime_bytes: int = 0
+    interrupted: bool = False
+
+
+class StopWaitFetcher:
+    """Base-station driver of the per-packet-ACK baseline protocol."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        retries_per_reading: int = 5,
+    ) -> None:
+        self.sim = sim
+        self.retries_per_reading = retries_per_reading
+
+    def fetch(self, probe, link: ProbeRadioLink, budget_s: Optional[float] = None):
+        """Process: fetch the probe's task with per-reading ACKs.
+
+        The task is marked complete only if every reading was delivered in
+        this session (the baseline has no cross-day memory — the property
+        the paper's protocol added).
+        """
+        start = self.sim.now
+        deadline = None if budget_s is None else start + budget_s
+        result = StopWaitResult()
+        try:
+            task: Optional[TaskSnapshot] = probe.task()
+            if task is None:
+                result.complete = True
+                return result
+            result.task_id = task.task_id
+            result.total = task.total
+            for reading in task.readings:
+                if deadline is not None and self.sim.now >= deadline:
+                    break
+                packet_bytes = DATA_HEADER_BYTES + reading.wire_bytes
+                delivered = False
+                for _attempt in range(self.retries_per_reading):
+                    if deadline is not None and self.sim.now >= deadline:
+                        break
+                    result.airtime_bytes += packet_bytes
+                    data_ok = yield self.sim.process(link.transmit(packet_bytes))
+                    result.airtime_bytes += ACK_BYTES
+                    ack_ok = yield self.sim.process(link.transmit(ACK_BYTES))
+                    if data_ok and ack_ok:
+                        delivered = True
+                        break
+                if delivered:
+                    result.delivered += 1
+                else:
+                    result.failed += 1
+            if result.delivered == result.total:
+                probe.mark_complete(task.task_id)
+                result.complete = True
+        except Interrupt:
+            result.interrupted = True
+        result.duration_s = self.sim.now - start
+        return result

@@ -1,0 +1,36 @@
+"""Sensor models for probes and stations.
+
+The subglacial probes carry "an array of sensors chosen to measure changes
+in conductivity, orientation and pressure"; the surface stations add air
+temperature, an ultrasonic snow-level sensor, and internal temperature and
+humidity from the Gumsense board.  Each sensor wraps an environment signal
+with gain/offset calibration, measurement noise and ADC quantisation.
+"""
+
+from repro.sensors.base import Sensor
+from repro.sensors.probe_sensors import (
+    ConductivitySensor,
+    PressureSensor,
+    TiltSensor,
+    make_probe_sensor_suite,
+)
+from repro.sensors.station_sensors import (
+    AirTemperatureSensor,
+    InternalHumiditySensor,
+    InternalTemperatureSensor,
+    UltrasonicSnowSensor,
+    make_station_sensor_suite,
+)
+
+__all__ = [
+    "AirTemperatureSensor",
+    "ConductivitySensor",
+    "InternalHumiditySensor",
+    "InternalTemperatureSensor",
+    "PressureSensor",
+    "Sensor",
+    "TiltSensor",
+    "UltrasonicSnowSensor",
+    "make_probe_sensor_suite",
+    "make_station_sensor_suite",
+]

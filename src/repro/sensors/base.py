@@ -1,0 +1,66 @@
+"""Common sensor machinery: calibration, noise, quantisation."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.environment.weather import _smooth_noise
+
+
+class Sensor:
+    """A calibrated, noisy, quantised view of one environment signal.
+
+    Parameters
+    ----------
+    name:
+        Channel name recorded with every reading.
+    signal:
+        Ground-truth callable, ``signal(time) -> float``.
+    noise_std:
+        Standard-deviation-like amplitude of measurement noise (uniform
+        noise of matching variance, deterministic in time and seed).
+    resolution:
+        ADC quantisation step; readings are rounded to multiples of this.
+    gain, offset:
+        Linear calibration applied to the true signal.
+    clip:
+        Optional ``(lo, hi)`` range of the transducer.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        signal: Callable[[float], float],
+        noise_std: float = 0.0,
+        resolution: float = 0.0,
+        gain: float = 1.0,
+        offset: float = 0.0,
+        clip: Optional[tuple] = None,
+        seed: int = 0,
+    ) -> None:
+        self.name = name
+        self.signal = signal
+        self.noise_std = noise_std
+        self.resolution = resolution
+        self.gain = gain
+        self.offset = offset
+        self.clip = clip
+        self.seed = seed
+
+    def sample(self, time: float) -> float:
+        """One measurement of the signal at ``time``."""
+        value = self.gain * self.signal(time) + self.offset
+        if self.noise_std > 0.0:
+            # Uniform noise with std = noise_std: half-width = std * sqrt(3).
+            half_width = self.noise_std * 1.7320508
+            noise = (2.0 * _smooth_noise(self.seed, f"sensor:{self.name}", time) - 1.0)
+            value += noise * half_width
+        if self.resolution > 0.0:
+            value = round(value / self.resolution) * self.resolution
+        if self.clip is not None:
+            lo, hi = self.clip
+            value = min(hi, max(lo, value))
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Sensor {self.name!r}>"

@@ -1,0 +1,142 @@
+"""Sensors on the surface stations: weather, snow level, enclosure health."""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.environment.weather import IcelandWeather, _smooth_noise
+from repro.sensors.base import Sensor
+
+
+class AirTemperatureSensor(Sensor):
+    """External air temperature, °C."""
+
+    def __init__(self, weather: IcelandWeather, seed: int = 0) -> None:
+        super().__init__(
+            name="air_temp_c",
+            signal=weather.temperature_c,
+            noise_std=0.2,
+            resolution=0.1,
+            clip=(-60.0, 60.0),
+            seed=seed,
+        )
+
+
+class UltrasonicSnowSensor(Sensor):
+    """Snow level under the sensor head, metres.
+
+    Mounted on the station frame; reports the distance-derived snow depth
+    with ultrasonic noise.  Deep snow burying the station (the event that
+    damaged the base station, Section V) shows up as this channel pinning
+    near the mounting height.
+    """
+
+    #: Height of the sensor head above the summer surface, metres.
+    MOUNT_HEIGHT_M = 2.5
+
+    def __init__(self, weather: IcelandWeather, seed: int = 0) -> None:
+        super().__init__(
+            name="snow_depth_m",
+            signal=weather.snow_depth,
+            noise_std=0.02,
+            resolution=0.01,
+            clip=(0.0, self.MOUNT_HEIGHT_M),
+            seed=seed,
+        )
+
+    def is_buried(self, time: float) -> bool:
+        """Whether snow has reached the sensor head."""
+        return self.sample(time) >= self.MOUNT_HEIGHT_M - 0.05
+
+
+class InternalTemperatureSensor(Sensor):
+    """Enclosure-internal temperature: damped, offset-warm view of air temp."""
+
+    def __init__(self, weather: IcelandWeather, seed: int = 0) -> None:
+        super().__init__(
+            name="internal_temp_c",
+            signal=lambda t: 0.7 * weather.temperature_c(t) + 3.0,
+            noise_std=0.2,
+            resolution=0.1,
+            seed=seed,
+        )
+
+
+class InternalHumiditySensor(Sensor):
+    """Enclosure-internal relative humidity, %.
+
+    Rises in warm wet periods (melt season) — the Gumsense board reports it
+    as a station-health data stream (Section II).
+    """
+
+    def __init__(self, weather: IcelandWeather, seed: int = 0) -> None:
+        self.weather = weather
+        super().__init__(
+            name="internal_humidity_pct",
+            signal=self._humidity,
+            noise_std=1.0,
+            resolution=0.5,
+            clip=(0.0, 100.0),
+            seed=seed,
+        )
+
+    def _humidity(self, time: float) -> float:
+        temp = self.weather.temperature_c(time)
+        base = 55.0 + 2.0 * max(0.0, temp)
+        texture = 10.0 * (2.0 * _smooth_noise(self.seed, "humidity", time) - 1.0)
+        return base + texture
+
+
+class EnclosureTiltSensor(Sensor):
+    """Enclosure pitch or roll, degrees — the paper's §VII suggestion.
+
+    "Examples of possible additional sensors include pitch and roll so
+    that the enclosure's movement as the ice melts can be tracked."  The
+    enclosure settles as the surrounding surface ablates: tilt creeps in
+    proportion to cumulative melt, with wind-rock noise.
+    """
+
+    def __init__(self, weather: IcelandWeather, axis: str = "pitch", seed: int = 0) -> None:
+        if axis not in ("pitch", "roll"):
+            raise ValueError(f"axis must be 'pitch' or 'roll', got {axis!r}")
+        self.weather = weather
+        self.axis = axis
+        self._gain = 4.0 if axis == "pitch" else 2.5
+        super().__init__(
+            name=f"enclosure_{axis}_deg",
+            signal=self._tilt,
+            noise_std=0.15,
+            resolution=0.1,
+            clip=(-45.0, 45.0),
+            seed=seed + (1 if axis == "pitch" else 2),
+        )
+
+    def _tilt(self, time: float) -> float:
+        from repro.environment.seasons import melt_season_factor
+        from repro.sim.simtime import DAY
+
+        # Cumulative settling: integrate the melt indicator day by day
+        # (cheap closed form: sample daily).
+        days = int(time // DAY)
+        settled = sum(melt_season_factor((d + 0.5) * DAY) for d in range(0, days, 3)) * 3
+        return self._gain * settled / 100.0
+
+
+def make_station_sensor_suite(
+    weather: IcelandWeather, seed: int = 0, with_tilt: bool = False
+) -> List[Sensor]:
+    """The base-station sensor set: air temp, snow level, internal temp/humidity.
+
+    ``with_tilt`` adds the §VII enclosure pitch/roll channels.
+    """
+    suite: List[Sensor] = [
+        AirTemperatureSensor(weather, seed=seed),
+        UltrasonicSnowSensor(weather, seed=seed),
+        InternalTemperatureSensor(weather, seed=seed),
+        InternalHumiditySensor(weather, seed=seed),
+    ]
+    if with_tilt:
+        suite.append(EnclosureTiltSensor(weather, axis="pitch", seed=seed))
+        suite.append(EnclosureTiltSensor(weather, axis="roll", seed=seed))
+    return suite

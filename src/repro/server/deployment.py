@@ -1,0 +1,93 @@
+"""Checksum-verified remote code updates (Section VI).
+
+"Scripts on the system ... automatically download the program, calculate a
+checksum and if it is correct replace the old file with the new one",
+then immediately report the computed MD5 back over an HTTP GET (the
+deployed wget had no POST support).  The model reproduces the whole
+pipeline, including in-transit corruption, which leaves the old version
+installed.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.comms.link import LinkDown, Modem
+from repro.sim.kernel import Simulation
+
+
+def md5_of(content: str) -> str:
+    """The checksum function used end to end (hex digest)."""
+    return hashlib.md5(content.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class CodeRelease:
+    """A published program version.
+
+    ``content`` stands in for the binary; ``md5`` is published alongside it
+    (computed at release time in Southampton, after lab verification on
+    similar hardware).
+    """
+
+    name: str
+    version: int
+    content: str
+    size_bytes: int
+
+    @property
+    def md5(self) -> str:
+        """The release's published checksum."""
+        return md5_of(self.content)
+
+
+class InstallOutcome(enum.Enum):
+    """Result of one station-side update attempt."""
+
+    INSTALLED = "installed"
+    CHECKSUM_MISMATCH = "checksum_mismatch"
+    DOWNLOAD_FAILED = "download_failed"
+
+
+def verify_and_install(
+    sim: Simulation,
+    modem: Modem,
+    server,
+    station: str,
+    release_name: str,
+    installed_versions: dict,
+    corruption_probability: float = 0.0,
+):
+    """Process: download a release, verify its checksum, install, report.
+
+    ``installed_versions`` maps release name -> version and is mutated only
+    on a successful verify ("if it is correct replace the old file with the
+    new one").  The computed checksum — matching or not — is reported
+    immediately via the HTTP-GET side channel.  Returns an
+    :class:`InstallOutcome`.
+    """
+    release: Optional[CodeRelease] = server.get_release(release_name)
+    if release is None:
+        return InstallOutcome.DOWNLOAD_FAILED
+    try:
+        yield sim.process(modem.send(release.size_bytes, label=f"code:{release_name}"))
+    except LinkDown:
+        sim.trace.emit(station, "code_download_failed", release=release_name)
+        return InstallOutcome.DOWNLOAD_FAILED
+
+    received = release.content
+    roll = float(sim.rng.stream(f"{station}.code_corruption").random())
+    if roll < corruption_probability:
+        received = release.content + "\x00CORRUPT"
+    computed = md5_of(received)
+    server.report_checksum(station, release_name, computed)
+
+    if computed != release.md5:
+        sim.trace.emit(station, "code_checksum_mismatch", release=release_name)
+        return InstallOutcome.CHECKSUM_MISMATCH
+    installed_versions[release_name] = release.version
+    sim.trace.emit(station, "code_installed", release=release_name, version=release.version)
+    return InstallOutcome.INSTALLED

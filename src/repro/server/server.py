@@ -1,0 +1,136 @@
+"""The in-process model of the project server in Southampton.
+
+Every method is a plain synchronous call: the *time and failure* of
+reaching the server belong to the station's modem session, not to the
+server itself.  Station code must only call these while its GPRS session is
+up — the clients in :mod:`repro.core.sync` and :mod:`repro.core.station`
+enforce that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.server.deployment import CodeRelease
+from repro.server.state_store import PowerStateStore
+from repro.sim.kernel import Simulation
+
+
+@dataclass
+class SpecialCommand:
+    """A one-shot command script staged for a station.
+
+    ``script`` is a callable executed on the station; whatever string it
+    returns is the command's output, which reaches Southampton via the
+    normal log upload — i.e. a day later (the Section VI 24/48-hour lesson).
+    """
+
+    command_id: int
+    script: Callable[[], str]
+    staged_at: float
+
+
+@dataclass
+class DataUpload:
+    """One received station upload."""
+
+    station: str
+    time: float
+    nbytes: int
+    kind: str
+    payload: Any = None
+
+
+class SouthamptonServer:
+    """State sync + data ingest + special commands + code releases."""
+
+    def __init__(self, sim: Simulation) -> None:
+        self.sim = sim
+        self.power_states = PowerStateStore()
+        self.uploads: List[DataUpload] = []
+        self._specials: Dict[str, List[SpecialCommand]] = {}
+        self._next_command_id = 1
+        self.releases: Dict[str, CodeRelease] = {}
+        self.reported_checksums: List[Tuple[float, str, str, str]] = []
+
+    # ------------------------------------------------------------------
+    # Power-state sync (Section III)
+    # ------------------------------------------------------------------
+    def upload_power_state(self, station: str, state: int) -> None:
+        """A station reports its locally-computed power state."""
+        self.power_states.upload(station, state, time=self.sim.now)
+        self.sim.trace.emit("server", "power_state_upload", station=station, state=state)
+
+    def get_override_state(self, station: str) -> Optional[int]:
+        """The min-rule override for ``station`` (None if nothing known)."""
+        override = self.power_states.override_for(station)
+        self.sim.trace.emit("server", "override_served", station=station, override=override)
+        return override
+
+    # ------------------------------------------------------------------
+    # Data ingest
+    # ------------------------------------------------------------------
+    def upload_data(self, station: str, nbytes: int, kind: str, payload: Any = None) -> None:
+        """Receive one upload (GPS files, probe data, logs...)."""
+        self.uploads.append(
+            DataUpload(station=station, time=self.sim.now, nbytes=nbytes, kind=kind,
+                       payload=payload)
+        )
+
+    def received_bytes(self, station: Optional[str] = None, kind: Optional[str] = None) -> int:
+        """Total payload received, optionally filtered."""
+        return sum(
+            upload.nbytes
+            for upload in self.uploads
+            if (station is None or upload.station == station)
+            and (kind is None or upload.kind == kind)
+        )
+
+    # ------------------------------------------------------------------
+    # Special commands (Section VI)
+    # ------------------------------------------------------------------
+    def stage_special(self, station: str, script: Callable[[], str]) -> int:
+        """Queue a one-shot command for the station's next contact."""
+        command = SpecialCommand(
+            command_id=self._next_command_id, script=script, staged_at=self.sim.now
+        )
+        self._next_command_id += 1
+        self._specials.setdefault(station, []).append(command)
+        return command.command_id
+
+    def get_special(self, station: str) -> Optional[SpecialCommand]:
+        """Hand the oldest staged command to the station (removing it)."""
+        queue = self._specials.get(station, [])
+        if not queue:
+            return None
+        return queue.pop(0)
+
+    # ------------------------------------------------------------------
+    # Code releases (Section VI)
+    # ------------------------------------------------------------------
+    def publish_release(self, release: CodeRelease) -> None:
+        """Make a code release available for download."""
+        self.releases[release.name] = release
+
+    def get_release(self, name: str) -> Optional[CodeRelease]:
+        """Fetch a release descriptor by name."""
+        return self.releases.get(name)
+
+    def report_checksum(self, station: str, release_name: str, md5: str) -> None:
+        """The station's immediate HTTP-GET checksum report.
+
+        This is the paper's workaround for the 24-hour log delay: "the
+        script ... uploads the MD5sum that it has calculated using a HTTP
+        GET ... this enables researchers to know immediately if the
+        transfer was successful."
+        """
+        self.reported_checksums.append((self.sim.now, station, release_name, md5))
+        self.sim.trace.emit(
+            "server", "checksum_reported", station=station, release=release_name, md5=md5
+        )
+
+    def last_checksum_report(self, release_name: str) -> Optional[Tuple[float, str, str, str]]:
+        """Most recent checksum report for a release, if any."""
+        matching = [r for r in self.reported_checksums if r[2] == release_name]
+        return matching[-1] if matching else None

@@ -1,0 +1,64 @@
+"""Server-side power-state records and the min-override rule.
+
+"When a station requests the override state from the server the server
+looks up both the existing states from the stations and returns the lowest
+one to the client" (Section III).  A manual override entered by the
+operators participates in the same minimum; station-side safety clamps
+(battery floor, no forced state 0) live in :mod:`repro.core.sync`, not
+here — the server is deliberately simple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass
+class StateReport:
+    """One station's most recent uploaded power state."""
+
+    state: int
+    reported_at: float
+
+
+class PowerStateStore:
+    """Uploaded states per station plus an optional manual override."""
+
+    def __init__(self) -> None:
+        self._reports: Dict[str, StateReport] = {}
+        self.manual_override: Optional[int] = None
+
+    def upload(self, station: str, state: int, time: float) -> None:
+        """Record a station's locally-computed power state."""
+        if not 0 <= state <= 3:
+            raise ValueError(f"power state must be 0-3, got {state}")
+        self._reports[station] = StateReport(state=state, reported_at=time)
+
+    def report_for(self, station: str) -> Optional[StateReport]:
+        """The last report from ``station``, if any."""
+        return self._reports.get(station)
+
+    def set_manual_override(self, state: Optional[int]) -> None:
+        """Operator override (``None`` clears it)."""
+        if state is not None and not 0 <= state <= 3:
+            raise ValueError(f"power state must be 0-3, got {state}")
+        self.manual_override = state
+
+    def override_for(self, station: str) -> Optional[int]:
+        """The override the server returns to ``station``: the minimum of
+        every known station state and the manual override.
+
+        Returns ``None`` when the server knows nothing at all (a fresh
+        deployment) — the station then runs on its local state.
+        """
+        candidates = [report.state for report in self._reports.values()]
+        if self.manual_override is not None:
+            candidates.append(self.manual_override)
+        if not candidates:
+            return None
+        return min(candidates)
+
+    def known_stations(self) -> Tuple[str, ...]:
+        """Stations that have ever reported."""
+        return tuple(sorted(self._reports))

@@ -1,0 +1,53 @@
+"""Discrete-event simulation kernel.
+
+Every other subsystem in :mod:`repro` runs on top of this kernel.  It is a
+small, dependency-free engine in the style of SimPy: a :class:`Simulation`
+owns a priority queue of :class:`~repro.sim.events.Event` objects and a
+simulated clock; :class:`~repro.sim.process.Process` objects are Python
+generators that ``yield`` events to wait on.
+
+The kernel is calendar-aware (see :mod:`repro.sim.simtime`): simulated time
+is measured in seconds since a configurable epoch and converts to/from UTC
+datetimes, because nearly everything in the reproduced system — the daily
+midday communication window, diurnal battery voltage, Iceland's seasons —
+is driven by wall-clock and calendar structure.
+"""
+
+from repro.sim.events import Event, Interrupt, Timeout
+from repro.sim.kernel import Simulation, StopSimulation
+from repro.sim.process import Process, ProcessKilled
+from repro.sim.rng import RngRegistry
+from repro.sim.simtime import (
+    DAY,
+    HOUR,
+    MINUTE,
+    SECONDS_PER_DAY,
+    SimClock,
+    day_of_year,
+    fraction_of_day,
+    from_datetime,
+    to_datetime,
+)
+from repro.sim.trace import Trace, TraceRecord
+
+__all__ = [
+    "DAY",
+    "Event",
+    "HOUR",
+    "Interrupt",
+    "MINUTE",
+    "Process",
+    "ProcessKilled",
+    "RngRegistry",
+    "SECONDS_PER_DAY",
+    "SimClock",
+    "Simulation",
+    "StopSimulation",
+    "Timeout",
+    "Trace",
+    "TraceRecord",
+    "day_of_year",
+    "fraction_of_day",
+    "from_datetime",
+    "to_datetime",
+]

@@ -1,0 +1,182 @@
+"""Events: the kernel's unit of scheduling and synchronisation.
+
+An :class:`Event` starts *pending*, is *triggered* with a value (or an
+exception), and then runs its callbacks exactly once when the kernel
+processes it.  Processes wait on events by ``yield``-ing them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.kernel import Simulation
+
+#: Sentinel for "not yet triggered".
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulation.
+    name:
+        Optional label used in traces and error messages.
+    """
+
+    def __init__(self, sim: "Simulation", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._exception: Optional[BaseException] = None
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been given a value or an exception."""
+        return self._value is not _PENDING or self._exception is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once the kernel has run the event's callbacks."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (triggered without an exception)."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The event's value.  Raises if the event is still pending."""
+        if self._exception is not None:
+            raise self._exception
+        if self._value is _PENDING:
+            raise RuntimeError(f"event {self.name!r} has no value yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"event {self.name!r} already triggered")
+        self._value = value
+        self.sim.schedule(self, delay=0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is raised inside every process waiting on the event.
+        If nothing is waiting when the kernel processes the event, the
+        exception propagates out of :meth:`Simulation.run` — errors must not
+        pass silently.
+        """
+        if self.triggered:
+            raise RuntimeError(f"event {self.name!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._exception = exception
+        self._value = None
+        self.sim.schedule(self, delay=0.0)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it will not crash the kernel."""
+        self._defused = True
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(self)
+        if self._exception is not None and not self._defused:
+            raise self._exception
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {self.name!r} {state}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically after a fixed delay."""
+
+    def __init__(self, sim: "Simulation", delay: float, value: Any = None, name: str = "") -> None:
+        if delay < 0:
+            raise ValueError(f"timeout delay must be >= 0, got {delay}")
+        super().__init__(sim, name or f"timeout({delay:g})")
+        self._value = value
+        self.delay = delay
+        sim.schedule(self, delay=delay)
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The watchdog in :mod:`repro.core.watchdog` uses interrupts to model the
+    paper's 2-hour emergency timeout killing a hung transfer.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class AllOf(Event):
+    """Composite event that succeeds when all child events have succeeded."""
+
+    def __init__(self, sim: "Simulation", events: List[Event], name: str = "all_of") -> None:
+        super().__init__(sim, name)
+        self._pending = 0
+        self._results: dict = {}
+        for event in events:
+            if event.processed:
+                if not event.ok:
+                    self.fail(event._exception)  # type: ignore[arg-type]
+                    return
+                self._results[event] = event.value
+            else:
+                self._pending += 1
+                event.callbacks.append(self._on_child)  # type: ignore[union-attr]
+        if self._pending == 0 and not self.triggered:
+            self.succeed(self._results)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event._exception)  # type: ignore[arg-type]
+            return
+        self._results[event] = event.value
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._results)
+
+
+class AnyOf(Event):
+    """Composite event that succeeds when the first child event succeeds."""
+
+    def __init__(self, sim: "Simulation", events: List[Event], name: str = "any_of") -> None:
+        super().__init__(sim, name)
+        for event in events:
+            if event.processed:
+                if event.ok:
+                    self.succeed({event: event.value})
+                else:
+                    self.fail(event._exception)  # type: ignore[arg-type]
+                return
+        for event in events:
+            event.callbacks.append(self._on_child)  # type: ignore[union-attr]
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.ok:
+            self.succeed({event: event.value})
+        else:
+            event.defuse()
+            self.fail(event._exception)  # type: ignore[arg-type]

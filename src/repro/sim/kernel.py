@@ -1,0 +1,143 @@
+"""The simulation kernel: clock + event queue + run loop."""
+
+from __future__ import annotations
+
+import datetime as _dt
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+from repro.sim.simtime import DEFAULT_EPOCH, SimClock
+from repro.sim.trace import Trace
+
+
+class StopSimulation(Exception):
+    """Raised (or triggered) to end :meth:`Simulation.run` early."""
+
+
+class Simulation:
+    """Owns the simulated clock, the event queue and all processes.
+
+    Typical use::
+
+        sim = Simulation(seed=42)
+
+        def worker(sim):
+            yield sim.timeout(10.0)
+            ...
+
+        sim.process(worker(sim))
+        sim.run(until=3600.0)
+
+    Parameters
+    ----------
+    epoch:
+        UTC datetime corresponding to simulated time 0.
+    seed:
+        Master seed for the per-component RNG registry.
+    trace:
+        Optional pre-built :class:`Trace`; a fresh one is created otherwise.
+    """
+
+    def __init__(
+        self,
+        epoch: _dt.datetime = DEFAULT_EPOCH,
+        seed: int = 0,
+        trace: Optional[Trace] = None,
+    ) -> None:
+        self.clock = SimClock(epoch=epoch)
+        self.rng = RngRegistry(seed)
+        self.trace = trace if trace is not None else Trace(clock=self.clock)
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._sequence = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds since the epoch."""
+        return self.clock.now
+
+    def utcnow(self) -> _dt.datetime:
+        """Current simulated instant as a UTC datetime."""
+        return self.clock.utcnow()
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Enqueue ``event`` to be processed ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self.now + delay, self._sequence, event))
+        self._sequence += 1
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending event."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
+        """Create an event that fires after ``delay`` simulated seconds."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: List[Event]) -> AllOf:
+        """Event that succeeds once every event in ``events`` has succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: List[Event]) -> AnyOf:
+        """Event that succeeds when the first of ``events`` succeeds."""
+        return AnyOf(self, events)
+
+    def call_at(self, when: float, func: Callable[[], None]) -> Event:
+        """Run ``func()`` at absolute simulated time ``when``."""
+        if when < self.now:
+            raise ValueError(f"call_at target {when} is in the past (now={self.now})")
+        event = Timeout(self, when - self.now, name=f"call_at({when:g})")
+        event.callbacks.append(lambda _evt: func())  # type: ignore[union-attr]
+        return event
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Process exactly one event from the queue."""
+        when, _seq, event = heapq.heappop(self._queue)
+        self.clock.advance_to(when)
+        event._run_callbacks()
+
+    def peek(self) -> float:
+        """Time of the next queued event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue empties, ``until`` is reached, or stop() is called.
+
+        ``until`` is an *absolute* simulated time.  When the run ends because
+        of ``until``, the clock is left exactly at ``until``.
+        """
+        self._stopped = False
+        try:
+            while self._queue and not self._stopped:
+                if until is not None and self.peek() > until:
+                    break
+                self.step()
+        except StopSimulation:
+            return
+        if until is not None and not self._stopped and self.clock.now < until:
+            self.clock.advance_to(until)
+
+    def run_days(self, days: float) -> None:
+        """Convenience: run for ``days`` simulated days from the current time."""
+        self.run(until=self.now + days * 86400.0)

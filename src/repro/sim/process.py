@@ -1,0 +1,128 @@
+"""Processes: generators driven by the kernel.
+
+A process function is a generator that ``yield``s :class:`Event` objects.
+When a yielded event triggers, the process resumes with the event's value
+(or the event's exception raised at the ``yield``).  A process is itself an
+event: it triggers with the generator's return value when the generator
+finishes, so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.events import Event, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulation
+
+
+class ProcessKilled(Exception):
+    """Raised inside a process that has been killed via :meth:`Process.kill`."""
+
+
+class Process(Event):
+    """A running generator, schedulable and waitable like any event."""
+
+    def __init__(self, sim: "Simulation", generator: Generator, name: str = "") -> None:
+        super().__init__(sim, name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume the generator at time now.
+        initial = Event(sim, name=f"{self.name}.init")
+        initial.callbacks.append(self._resume)  # type: ignore[union-attr]
+        initial._value = None
+        sim.schedule(initial, delay=0.0)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process at its current yield.
+
+        Used to model the emergency watchdog cutting power mid-task.  A
+        process that is not currently waiting (already finished) cannot be
+        interrupted.
+        """
+        if self.triggered:
+            raise RuntimeError(f"cannot interrupt finished process {self.name!r}")
+        self._detach_from_waiting()
+        wakeup = Event(self.sim, name=f"{self.name}.interrupt")
+        wakeup._exception = Interrupt(cause)
+        wakeup._value = None
+        wakeup._defused = True
+        wakeup.callbacks.append(self._resume)  # type: ignore[union-attr]
+        self.sim.schedule(wakeup, delay=0.0)
+
+    def kill(self) -> None:
+        """Terminate the process immediately without running more of its body.
+
+        The process event triggers with value ``None``.  Models hard power
+        removal (the MSP430 cutting the Gumstix's rail).  The kill cascades
+        into any child *process* this one is currently waiting on —
+        structured concurrency: a powered-off job cannot leave its transfer
+        running.  Generator ``finally`` blocks run, so hardware helpers
+        (e.g. the GPS reading) release their power rails.
+        """
+        if self.triggered:
+            return
+        child = self._waiting_on
+        self._detach_from_waiting()
+        self._generator.close()
+        self._value = None
+        self.sim.schedule(self, delay=0.0)
+        if isinstance(child, Process) and child.is_alive:
+            child.kill()
+
+    def _detach_from_waiting(self) -> None:
+        if self._waiting_on is not None and self._waiting_on.callbacks is not None:
+            try:
+                self._waiting_on.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        try:
+            if event._exception is not None:
+                event.defuse()
+                target = self._generator.throw(event._exception)
+            else:
+                target = self._generator.send(event._value)
+        except StopIteration as stop:
+            self._value = stop.value
+            self.sim.schedule(self, delay=0.0)
+            return
+        except ProcessKilled:
+            self._value = None
+            self.sim.schedule(self, delay=0.0)
+            return
+        except BaseException as exc:
+            # The process body raised: propagate through the process event so
+            # waiters see it; if nobody waits, the kernel surfaces it.
+            self._exception = exc
+            self._value = None
+            self.sim.schedule(self, delay=0.0)
+            return
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Event objects"
+            )
+        if target.processed:
+            # The event already happened (e.g. succeeded in an earlier run):
+            # resume immediately with its recorded outcome.
+            immediate = Event(self.sim, name=f"{self.name}.immediate")
+            immediate._value = target._value
+            immediate._exception = target._exception
+            if target._exception is not None:
+                immediate._defused = True
+            immediate.callbacks.append(self._resume)  # type: ignore[union-attr]
+            self.sim.schedule(immediate, delay=0.0)
+        else:
+            self._waiting_on = target
+            target.callbacks.append(self._resume)  # type: ignore[union-attr]

@@ -1,0 +1,37 @@
+"""Per-component random number streams.
+
+Each subsystem (weather, probe radio, GPRS link, ...) draws from its own
+named stream, derived deterministically from the master seed.  This keeps
+experiments reproducible and — crucially for ablations — means changing how
+often one component draws randomness does not perturb any other component.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+import numpy as np
+
+
+class RngRegistry:
+    """Deterministic registry of named :class:`numpy.random.Generator` streams."""
+
+    def __init__(self, master_seed: int = 0) -> None:
+        self.master_seed = int(master_seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use.
+
+        The stream's seed is a stable hash of ``(master_seed, name)`` so the
+        same name always yields the same sequence for a given master seed.
+        """
+        if name not in self._streams:
+            digest = hashlib.sha256(f"{self.master_seed}:{name}".encode()).digest()
+            seed = int.from_bytes(digest[:8], "big")
+            self._streams[name] = np.random.default_rng(seed)
+        return self._streams[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams

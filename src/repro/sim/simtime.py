@@ -1,0 +1,111 @@
+"""Simulated time: seconds since an epoch, with calendar conversions.
+
+The deployed system's behaviour is anchored to UTC wall-clock time — the
+communication window opens daily at midday UTC, battery voltage peaks near
+midday, melt-water arrives in April.  The kernel therefore measures time in
+*seconds since a simulation epoch* (a real UTC datetime) so that any
+simulated instant can be mapped back to a calendar date.
+
+The default epoch, 1 September 2008 UTC, is the start of the deployment
+season described in the paper.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+#: One simulated second (the base unit).
+SECOND = 1.0
+#: Seconds per minute.
+MINUTE = 60.0
+#: Seconds per hour.
+HOUR = 3600.0
+#: Seconds per day.
+DAY = 86400.0
+#: Alias kept for readability in rate calculations.
+SECONDS_PER_DAY = DAY
+
+#: The default simulation epoch: start of the 2008 Iceland deployment season.
+DEFAULT_EPOCH = _dt.datetime(2008, 9, 1, 0, 0, 0, tzinfo=_dt.timezone.utc)
+
+#: The value a reset hardware RTC reports: the Unix epoch.
+RTC_RESET_DATETIME = _dt.datetime(1970, 1, 1, 0, 0, 0, tzinfo=_dt.timezone.utc)
+
+
+def to_datetime(sim_seconds: float, epoch: _dt.datetime = DEFAULT_EPOCH) -> _dt.datetime:
+    """Convert simulated seconds since ``epoch`` to a UTC datetime."""
+    return epoch + _dt.timedelta(seconds=sim_seconds)
+
+
+def from_datetime(when: _dt.datetime, epoch: _dt.datetime = DEFAULT_EPOCH) -> float:
+    """Convert a UTC datetime to simulated seconds since ``epoch``."""
+    if when.tzinfo is None:
+        when = when.replace(tzinfo=_dt.timezone.utc)
+    return (when - epoch).total_seconds()
+
+
+def day_of_year(sim_seconds: float, epoch: _dt.datetime = DEFAULT_EPOCH) -> int:
+    """Day of year (1-366) at the given simulated instant."""
+    return to_datetime(sim_seconds, epoch).timetuple().tm_yday
+
+
+def fraction_of_day(sim_seconds: float, epoch: _dt.datetime = DEFAULT_EPOCH) -> float:
+    """Fraction of the UTC day elapsed at the given instant, in [0, 1).
+
+    0.5 is midday UTC — the scheduled communication window.
+    """
+    when = to_datetime(sim_seconds, epoch)
+    return (when.hour * HOUR + when.minute * MINUTE + when.second + when.microsecond / 1e6) / DAY
+
+
+def next_time_of_day(sim_seconds: float, hour: float, epoch: _dt.datetime = DEFAULT_EPOCH) -> float:
+    """The next simulated instant at which UTC time-of-day equals ``hour``.
+
+    Returns a value strictly greater than ``sim_seconds``: if the current
+    instant is exactly ``hour``, the result is the same time tomorrow.
+    """
+    target_fraction = hour / 24.0
+    current_fraction = fraction_of_day(sim_seconds, epoch)
+    delta_fraction = target_fraction - current_fraction
+    if delta_fraction <= 0:
+        delta_fraction += 1.0
+    return sim_seconds + delta_fraction * DAY
+
+
+class SimClock:
+    """The simulation's monotonically advancing clock.
+
+    ``SimClock`` is the *true* simulated time, owned by the kernel.  Device
+    real-time clocks (which can drift or reset) are modelled separately in
+    :mod:`repro.hardware.rtc` against this reference.
+    """
+
+    def __init__(self, epoch: _dt.datetime = DEFAULT_EPOCH, start: float = 0.0) -> None:
+        self.epoch = epoch
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds since the epoch."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to ``when``.  Refuses to move backwards."""
+        if when < self._now:
+            raise ValueError(f"clock cannot move backwards: {when} < {self._now}")
+        self._now = when
+
+    def utcnow(self) -> _dt.datetime:
+        """Current simulated instant as a UTC datetime."""
+        return to_datetime(self._now, self.epoch)
+
+    def day_of_year(self) -> int:
+        """Day of year at the current instant."""
+        return day_of_year(self._now, self.epoch)
+
+    def fraction_of_day(self) -> float:
+        """Fraction of the current UTC day elapsed, in [0, 1)."""
+        return fraction_of_day(self._now, self.epoch)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock({self.utcnow().isoformat()})"

@@ -1,0 +1,109 @@
+"""Structured tracing: the simulated analogue of the stations' logfiles.
+
+The paper stresses that "all messages or errors are redirected to a standard
+logfile which is sent back daily with the data", and that log volume itself
+became an operational problem (a reconnected probe could emit >1 MB of log).
+:class:`Trace` records structured events with their simulated timestamps; the
+station model measures the byte size of its trace slice to reproduce that
+log-volume behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.sim.simtime import SimClock
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry.
+
+    Attributes
+    ----------
+    time:
+        Simulated time in seconds since the epoch.
+    source:
+        Component that emitted the record (e.g. ``"base.gumstix"``).
+    kind:
+        Machine-readable record type (e.g. ``"power_state"``).
+    detail:
+        Free-form payload fields.
+    """
+
+    time: float
+    source: str
+    kind: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def byte_size(self) -> int:
+        """Approximate size of this record rendered as a log line."""
+        rendered = f"{self.time:.1f} {self.source} {self.kind} {self.detail!r}\n"
+        return len(rendered.encode())
+
+
+class Trace:
+    """Append-only list of :class:`TraceRecord` with query helpers."""
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock
+        self.records: List[TraceRecord] = []
+        self._subscribers: List[Callable[[TraceRecord], None]] = []
+
+    def emit(self, source: str, kind: str, **detail: Any) -> TraceRecord:
+        """Append a record stamped with the current simulated time."""
+        time = self.clock.now if self.clock is not None else 0.0
+        record = TraceRecord(time=time, source=source, kind=kind, detail=detail)
+        self.records.append(record)
+        for subscriber in self._subscribers:
+            subscriber(record)
+        return record
+
+    def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Call ``callback`` for every future record."""
+        self._subscribers.append(callback)
+
+    def select(
+        self,
+        source: Optional[str] = None,
+        kind: Optional[str] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> List[TraceRecord]:
+        """Records matching every given filter (prefix match on ``source``)."""
+        return list(self.iter_select(source=source, kind=kind, start=start, end=end))
+
+    def iter_select(
+        self,
+        source: Optional[str] = None,
+        kind: Optional[str] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> Iterator[TraceRecord]:
+        """Iterator variant of :meth:`select`."""
+        for record in self.records:
+            if source is not None and not record.source.startswith(source):
+                continue
+            if kind is not None and record.kind != kind:
+                continue
+            if start is not None and record.time < start:
+                continue
+            if end is not None and record.time >= end:
+                continue
+            yield record
+
+    def series(self, kind: str, key: str, source: Optional[str] = None) -> List[tuple]:
+        """``(time, detail[key])`` pairs for every matching record."""
+        return [
+            (record.time, record.detail[key])
+            for record in self.iter_select(source=source, kind=kind)
+            if key in record.detail
+        ]
+
+    def byte_size(self, **filters: Any) -> int:
+        """Total rendered byte size of records matching ``filters``."""
+        return sum(record.byte_size() for record in self.iter_select(**filters))
+
+    def __len__(self) -> int:
+        return len(self.records)

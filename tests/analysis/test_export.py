@@ -1,0 +1,62 @@
+"""Tests for the CSV/JSON export helpers."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    archive_snapshot_json,
+    multi_series_to_csv,
+    series_to_csv,
+    series_to_json,
+)
+
+
+class TestCsv:
+    def test_single_series(self):
+        csv = series_to_csv([(0.0, 12.5), (1800.0, 12.4)], value_name="volts")
+        lines = csv.strip().splitlines()
+        assert lines[0] == "time_s,volts"
+        assert lines[1] == "0.0,12.5"
+        assert len(lines) == 3
+
+    def test_empty_series(self):
+        csv = series_to_csv([])
+        assert csv.strip() == "time_s,value"
+
+    def test_multi_series_merges_timestamps(self):
+        csv = multi_series_to_csv({
+            "a": [(0.0, 1.0), (60.0, 2.0)],
+            "b": [(60.0, 5.0), (120.0, 6.0)],
+        })
+        lines = csv.strip().splitlines()
+        assert lines[0] == "time_s,a,b"
+        assert lines[1] == "0.0,1.0,"
+        assert lines[2] == "60.0,2.0,5.0"
+        assert lines[3] == "120.0,,6.0"
+
+    def test_multi_series_handles_int_keys(self):
+        csv = multi_series_to_csv({21: [(0.0, 1.0)], 24: [(0.0, 2.0)]})
+        assert csv.splitlines()[0] == "time_s,21,24"
+
+
+class TestJson:
+    def test_series_round_trips(self):
+        text = series_to_json([(0.0, 1.5)], value_name="v", metadata={"probe": 21})
+        doc = json.loads(text)
+        assert doc["columns"] == ["time_s", "v"]
+        assert doc["rows"] == [[0.0, 1.5]]
+        assert doc["metadata"]["probe"] == 21
+
+    def test_archive_snapshot(self):
+        from repro.core import Deployment, DeploymentConfig
+        from repro.server.archive import ScienceArchive
+
+        deployment = Deployment(DeploymentConfig(seed=95))
+        deployment.run_days(4)
+        text = archive_snapshot_json(ScienceArchive(deployment.server))
+        doc = json.loads(text)
+        assert "daily_velocity_m_per_day" in doc
+        assert set(doc["stations"]) == {"base", "reference"}
+        assert 0.0 <= doc["differential_fraction"] <= 1.0
+        assert doc["probes"]  # at least one probe's data arrived

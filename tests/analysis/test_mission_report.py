@@ -1,0 +1,78 @@
+"""Tests for the mission-report generator and the new CLI commands."""
+
+import json
+
+import pytest
+
+from repro.analysis.mission_report import mission_report
+from repro.cli import main
+from repro.core import Deployment, DeploymentConfig
+from repro.core.config import StationConfig
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    d = Deployment(DeploymentConfig(seed=120, probe_lifetimes_days=[10_000.0] * 7))
+    d.run_days(4)
+    return d
+
+
+class TestMissionReport:
+    def test_contains_all_sections(self, deployment):
+        report = mission_report(deployment)
+        for heading in ("Stations", "Power", "Communications", "Probe fleet",
+                        "Science", "Incidents"):
+            assert heading in report
+
+    def test_station_rows_present(self, deployment):
+        report = mission_report(deployment)
+        assert "base" in report and "reference" in report
+        assert "GPRS cost" in report
+
+    def test_probe_rows(self, deployment):
+        report = mission_report(deployment)
+        for pid in (20, 21, 26):
+            assert str(pid) in report
+        assert "Wired probe: ok" in report
+
+    def test_incidents_on_eventful_deployment(self):
+        base = StationConfig(solar_w=0.0, wind_w=0.0, initial_soc=0.02)
+        d = Deployment(DeploymentConfig(seed=121, base=base))
+        d.base.bus.add_load("leak", 25.0)
+        d.base.bus.loads.switch_on("leak")
+        d.run_days(3)
+        report = mission_report(d)
+        assert "battery brown-out" in report
+
+    def test_quiet_deployment_reports_none_or_few(self, deployment):
+        report = mission_report(deployment)
+        incidents = report.split("Incidents")[1]
+        assert "brown-out" not in incidents
+
+
+class TestCliReportAndExport:
+    def test_report_command(self, capsys):
+        assert main(["report", "--days", "2", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "GLACSWEB DEPLOYMENT REPORT" in out
+        assert "Science" in out
+
+    def test_export_velocity_csv(self, capsys):
+        assert main(["export", "--days", "3", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert lines[0] == "time_s,velocity_m_per_day"
+        assert len(lines) >= 2
+
+    def test_export_voltage_json(self, capsys):
+        assert main(["export", "--days", "2", "--seed", "5",
+                     "--what", "voltage", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["columns"] == ["time_s", "volts"]
+        assert len(doc["rows"]) > 40
+
+    def test_export_snapshot(self, capsys):
+        assert main(["export", "--days", "2", "--seed", "5",
+                     "--what", "snapshot"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "stations" in doc and "probes" in doc

@@ -1,0 +1,109 @@
+"""Tests for the glaciological analysis helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.science import (
+    daily_means,
+    diurnal_amplitude,
+    diurnal_velocity_profile,
+    pearson,
+    slip_day_pressure_excess,
+    velocity_pressure_correlation,
+)
+from repro.gps.dgps import DgpsSolution
+from repro.sim.simtime import DAY, HOUR
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        xs = [1.0, 2.0, 3.0]
+        assert pearson(xs, [2.0, 4.0, 6.0]) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        assert pearson([1.0, 2.0, 3.0], [3.0, 2.0, 1.0]) == pytest.approx(-1.0)
+
+    def test_degenerate_inputs(self):
+        assert pearson([], []) == 0.0
+        assert pearson([1.0], [1.0]) == 0.0
+        assert pearson([1.0, 1.0], [2.0, 3.0]) == 0.0  # zero variance
+        assert pearson([1.0, 2.0], [1.0]) == 0.0  # length mismatch
+
+    def test_independent_near_zero(self):
+        xs = [math.sin(i * 1.7) for i in range(200)]
+        ys = [math.cos(i * 0.9 + 2.0) for i in range(200)]
+        assert abs(pearson(xs, ys)) < 0.2
+
+
+def synthetic_solutions(days=10, per_day=12, amplitude=0.3, base=0.12):
+    """Solutions whose positions carry a known diurnal velocity."""
+    solutions = []
+    position = 0.0
+    dt = DAY / per_day
+    for step in range(days * per_day):
+        time = step * dt
+        frac = (time % DAY) / DAY
+        velocity = base * (1.0 + amplitude * math.sin(2 * math.pi * (frac - 0.4)))
+        position += velocity * dt / DAY
+        solutions.append(DgpsSolution(time=time, position_m=position, differential=True))
+    return solutions
+
+
+class TestDiurnalProfile:
+    def test_recovers_phase_and_amplitude(self):
+        solutions = synthetic_solutions()
+        profile = diurnal_velocity_profile(solutions)
+        assert len(profile) == 12
+        truth = [math.sin(2 * math.pi * (h / 24.0 - 0.4)) for h, _v in profile]
+        assert pearson(truth, [v for _h, v in profile]) > 0.95
+        assert diurnal_amplitude(profile) == pytest.approx(2 * 0.3 * 0.12, rel=0.2)
+
+    def test_flat_velocity_flat_profile(self):
+        solutions = synthetic_solutions(amplitude=0.0)
+        profile = diurnal_velocity_profile(solutions)
+        assert diurnal_amplitude(profile) < 1e-9
+
+    def test_empty(self):
+        assert diurnal_velocity_profile([]) == []
+        assert diurnal_amplitude([]) == 0.0
+
+
+class TestDailyMeans:
+    def test_groups_by_day(self):
+        series = [(0.0, 1.0), (HOUR, 3.0), (DAY + 1, 10.0)]
+        means = daily_means(series)
+        assert means == {0: 2.0, 1: 10.0}
+
+
+class TestVelocityPressure:
+    def test_positive_coupling_detected(self):
+        daily_velocity = [(d, 0.1 + 0.01 * (d % 5)) for d in range(20)]
+        pressure = [
+            (d * DAY + h * HOUR, 40.0 + 5.0 * (d % 5))
+            for d in range(20)
+            for h in (0, 12)
+        ]
+        r, n = velocity_pressure_correlation(daily_velocity, pressure)
+        assert n == 20
+        assert r > 0.95
+
+    def test_unpaired_days_dropped(self):
+        daily_velocity = [(0, 0.1), (5, 0.2)]
+        pressure = [(0.0, 40.0)]
+        _r, n = velocity_pressure_correlation(daily_velocity, pressure)
+        assert n == 1
+
+    def test_slip_day_excess(self):
+        # days 3 and 7 are fast, with higher pressure
+        daily_velocity = [(d, 0.3 if d in (3, 7) else 0.1) for d in range(10)]
+        pressure = [
+            (d * DAY, 60.0 if d in (3, 7) else 40.0) for d in range(10)
+        ]
+        excess = slip_day_pressure_excess(daily_velocity, pressure)
+        assert excess == pytest.approx(20.0)
+
+    def test_slip_day_excess_none_when_quiet(self):
+        daily_velocity = [(d, 0.1) for d in range(10)]
+        pressure = [(d * DAY, 40.0) for d in range(10)]
+        assert slip_day_pressure_excess(daily_velocity, pressure) is None

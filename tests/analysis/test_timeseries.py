@@ -1,0 +1,109 @@
+"""Tests for the analysis helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.ascii_plot import ascii_series
+from repro.analysis.report import format_table
+from repro.analysis.timeseries import (
+    daily_extremes,
+    detect_dips,
+    dip_intervals,
+    moving_average,
+    resample_mean,
+    time_of_daily_max,
+)
+from repro.sim.simtime import DAY, HOUR
+
+
+class TestResample:
+    def test_mean_per_bucket(self):
+        series = [(0.0, 1.0), (10.0, 3.0), (70.0, 5.0)]
+        out = resample_mean(series, bucket_s=60.0)
+        assert out == [(30.0, 2.0), (90.0, 5.0)]
+
+    def test_invalid_bucket(self):
+        with pytest.raises(ValueError):
+            resample_mean([], 0.0)
+
+    def test_empty(self):
+        assert resample_mean([], 60.0) == []
+
+
+class TestMovingAverage:
+    def test_window_of_one_is_identity(self):
+        series = [(0.0, 1.0), (1.0, 5.0)]
+        assert moving_average(series, 1) == series
+
+    def test_window_smooths(self):
+        series = [(float(i), float(i % 2)) for i in range(10)]
+        out = moving_average(series, 2)
+        assert all(v == 0.5 for _t, v in out[1:])
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average([], 0)
+
+
+class TestDailyStats:
+    def test_extremes(self):
+        series = [(0.0, 12.0), (HOUR, 12.5), (DAY + 1, 11.0)]
+        out = daily_extremes(series)
+        assert out == [(0, 12.0, 12.5), (1, 11.0, 11.0)]
+
+    def test_time_of_daily_max_finds_midday_peak(self):
+        series = [
+            (day * DAY + h * HOUR, -abs(h - 12.0)) for day in range(3) for h in range(24)
+        ]
+        out = time_of_daily_max(series)
+        assert all(hour == pytest.approx(12.0) for _d, hour in out)
+
+
+class TestDipDetection:
+    def make_dippy_series(self, interval_h=2.0, dip_depth=0.3):
+        series = []
+        for minute in range(0, 24 * 60, 5):
+            t = minute * 60.0
+            value = 13.0
+            # dips lasting 5 minutes every interval_h hours
+            if (minute % int(interval_h * 60)) < 5:
+                value -= dip_depth
+            series.append((t, value))
+        return series
+
+    def test_detects_dips_at_two_hour_interval(self):
+        """The Fig 5 pattern: regular dips with a 2-hour interval."""
+        series = self.make_dippy_series()
+        dips = detect_dips(series, depth=0.15)
+        intervals = dip_intervals(dips)
+        assert len(dips) >= 10
+        assert all(i == pytest.approx(2.0, abs=0.2) for i in intervals)
+
+    def test_no_dips_in_flat_series(self):
+        series = [(float(i * 60), 13.0) for i in range(100)]
+        assert detect_dips(series, depth=0.1) == []
+
+    def test_consecutive_dip_samples_collapse(self):
+        series = [(0.0, 13.0)] * 5 + [(1.0, 12.0), (2.0, 12.0)] + [(3.0, 13.0)] * 5
+        series = [(float(i), v) for i, (_t, v) in enumerate(series)]
+        dips = detect_dips(series, depth=0.5)
+        assert len(dips) == 1
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [None, "x"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert lines[4].startswith("-")  # None rendered as -
+
+    def test_ascii_plot_renders(self):
+        series = [(float(i), math.sin(i / 5.0)) for i in range(100)]
+        out = ascii_series(series, width=40, height=8, label="sine")
+        assert "sine" in out
+        assert "*" in out
+
+    def test_ascii_plot_empty(self):
+        assert "(no data)" in ascii_series([], label="x")

@@ -1,0 +1,75 @@
+"""Tests for the dual-GPRS vs radio-relay energy comparison (Section II)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.comms.architectures import (
+    architecture_saving_factor,
+    dual_gprs_energy,
+    radio_relay_energy,
+)
+from repro.energy.components import GPRS_MODEM, GUMSTIX, RADIO_MODEM
+
+MB = 1_000_000
+
+
+class TestDualGprs:
+    def test_energy_arithmetic(self):
+        result = dual_gprs_energy(base_bytes=MB, reference_bytes=MB)
+        per_station = (GPRS_MODEM.power_w + GUMSTIX.power_w) * (8 * MB / 5000)
+        assert result.base_j == pytest.approx(per_station)
+        assert result.reference_j == pytest.approx(per_station)
+        assert result.total_j == pytest.approx(2 * per_station)
+
+    def test_total_wh(self):
+        result = dual_gprs_energy(MB, MB)
+        assert result.total_wh == pytest.approx(result.total_j / 3600.0)
+
+
+class TestRadioRelay:
+    def test_reference_carries_everything(self):
+        result = radio_relay_energy(base_bytes=MB, reference_bytes=MB)
+        # Reference uploads 2 MB over GPRS plus runs its radio for the relay.
+        uplink_j = (GPRS_MODEM.power_w + GUMSTIX.power_w) * (8 * 2 * MB / 5000)
+        relay_rx_j = (RADIO_MODEM.power_w + GUMSTIX.power_w) * (8 * MB / 2000)
+        assert result.reference_j == pytest.approx(uplink_j + relay_rx_j)
+
+    def test_base_pays_radio_rate(self):
+        result = radio_relay_energy(base_bytes=MB, reference_bytes=0)
+        assert result.base_j == pytest.approx(
+            (RADIO_MODEM.power_w + GUMSTIX.power_w) * (8 * MB / 2000)
+        )
+
+    def test_receiver_unpowered_variant_is_cheaper(self):
+        powered = radio_relay_energy(MB, MB, receiver_powered=True)
+        unpowered = radio_relay_energy(MB, MB, receiver_powered=False)
+        assert unpowered.total_j < powered.total_j
+
+
+class TestPaperClaim:
+    def test_at_least_twofold_saving(self):
+        """The headline Section II claim: dual GPRS saves >= 2x."""
+        factor = architecture_saving_factor(MB, MB)
+        assert factor >= 2.0
+
+    def test_twofold_even_without_receiver_power(self):
+        factor = architecture_saving_factor(MB, MB, receiver_powered=False)
+        assert factor >= 2.0
+
+    def test_saving_grows_with_base_share(self):
+        """The relay penalty scales with how much base data must be relayed."""
+        balanced = architecture_saving_factor(MB, MB)
+        base_heavy = architecture_saving_factor(4 * MB, MB)
+        assert base_heavy > balanced
+
+    @given(
+        st.integers(min_value=1, max_value=100 * MB),
+        st.integers(min_value=1, max_value=100 * MB),
+    )
+    def test_relay_never_beats_dual_gprs(self, base_bytes, ref_bytes):
+        assert architecture_saving_factor(base_bytes, ref_bytes) > 1.0
+
+    def test_airtime_also_lower(self):
+        dual = dual_gprs_energy(MB, MB)
+        relay = radio_relay_energy(MB, MB)
+        assert dual.transfer_s_total < relay.transfer_s_total

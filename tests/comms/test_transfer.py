@@ -1,0 +1,207 @@
+"""Tests for the windowed transfer engine and backlog arithmetic (Section VI)."""
+
+import pytest
+
+from repro.comms.link import Modem
+from repro.comms.transfer import (
+    drain_days,
+    estimate_window_bytes,
+    is_oversized,
+    upload_files,
+)
+from repro.energy.battery import Battery
+from repro.energy.bus import PowerBus
+from repro.energy.components import GPRS_MODEM
+from repro.gps.files import NOMINAL_READING_BYTES
+from repro.hardware.storage import StoredFile
+from repro.sim import Simulation
+from repro.sim.simtime import DAY, HOUR
+
+
+@pytest.fixture
+def rig():
+    sim = Simulation(seed=31)
+    bus = PowerBus(sim, Battery(soc=0.95), name="t.power")
+    modem = Modem(sim, bus, "t.modem", GPRS_MODEM)
+    return sim, bus, modem
+
+
+def make_files(count, size, start=0.0):
+    return [StoredFile(f"f{i:03d}", size, created=start + i) for i in range(count)]
+
+
+def run_upload(sim, modem, files, **kwargs):
+    def session(sim):
+        yield sim.process(modem.connect())
+        result = yield sim.process(upload_files(sim, modem, files, **kwargs))
+        modem.disconnect()
+        return result
+
+    return sim.process(session(sim))
+
+
+class TestWindowArithmetic:
+    def test_two_hour_gprs_window_capacity(self, rig):
+        _sim, _bus, modem = rig
+        capacity = estimate_window_bytes(modem, 2 * HOUR)
+        # 5000 bps for 7200 s = 4.5 MB.
+        assert capacity == 4_500_000
+
+    def test_paper_21_day_state3_limit(self, rig):
+        """State 3 produces 12 x ~165 KB ~ 1.98 MB/day of GPS data; with
+        upload overheads a 2-hour window holds roughly 21 days' worth
+        before it cannot catch up in one session (Section VI)."""
+        _sim, _bus, modem = rig
+        daily = 12 * NOMINAL_READING_BYTES
+        # The deployed window must also fit probe data, logs and slack; the
+        # paper's 21-day figure implies ~2 MB of GPS backlog movable per
+        # window beyond the daily production.
+        capacity = estimate_window_bytes(modem, 2 * HOUR)
+        days = capacity / daily
+        assert 2.0 < days < 3.0  # one window moves ~2.3 days of state-3 data
+        # Clearing a 21-day outage therefore takes ~=9-16 windows - days,
+        # not weeks, exactly the "over the course of a few days" behaviour.
+        assert 5 <= drain_days(21 * daily, NOMINAL_READING_BYTES, modem, 2 * HOUR) <= 16
+
+    def test_state2_backlog_much_slower_to_build(self, rig):
+        """State 2 produces 1 reading/day, so the same backlog takes ~12x
+        longer to accumulate (the paper quotes 259 days vs 21)."""
+        state3_daily = 12 * NOMINAL_READING_BYTES
+        state2_daily = 1 * NOMINAL_READING_BYTES
+        assert state3_daily / state2_daily == 12
+
+    def test_oversized_detection(self, rig):
+        _sim, _bus, modem = rig
+        assert is_oversized(5_000_000, modem, 2 * HOUR)
+        assert not is_oversized(4_000_000, modem, 2 * HOUR)
+
+    def test_drain_days_livelock(self, rig):
+        _sim, _bus, modem = rig
+        assert drain_days(10_000_000, 5_000_000, modem, 2 * HOUR) == float("inf")
+
+    def test_drain_days_zero_backlog(self, rig):
+        _sim, _bus, modem = rig
+        assert drain_days(0, 165_000, modem, 2 * HOUR) == 0.0
+
+
+class TestUploadFiles:
+    def test_all_files_sent(self, rig):
+        sim, _bus, modem = rig
+        files = make_files(5, 100_000)
+        proc = run_upload(sim, modem, files)
+        sim.run(until=DAY)
+        result = proc.value
+        assert result.sent == [f.name for f in files]
+        assert result.bytes_sent == 500_000
+        assert not result.interrupted and not result.link_lost
+
+    def test_watchdog_interrupt_keeps_partial_progress(self, rig):
+        sim, _bus, modem = rig
+        files = make_files(10, 1_000_000)  # 1600 s each
+
+        def guarded(sim):
+            yield sim.process(modem.connect())
+            inner = sim.process(upload_files(sim, modem, files))
+            yield sim.timeout(2 * HOUR - 30.0)  # watchdog budget after connect
+            if inner.is_alive:
+                inner.interrupt("watchdog")
+            result = yield inner
+            return result
+
+        outer = sim.process(guarded(sim))
+        sim.run(until=DAY)
+        result = outer.value
+        assert result.interrupted
+        # 7200 s at 5000 bps minus 30 s connect ~ 4.48 MB -> 4 whole files.
+        assert len(result.sent) == 4
+
+    def test_dropped_file_restarts_and_recovers(self, rig):
+        sim, _bus, modem = rig
+        drop_once = {"armed": True}
+
+        def hazard(t):
+            if drop_once["armed"]:
+                return 1.0
+            return 0.0
+
+        modem.drop_hazard_per_s = hazard
+
+        def disarm(sim):
+            # connect takes 30 s, the first 30 s chunk ends at 60 s; keep the
+            # hazard armed through that first chunk, then clear it.
+            yield sim.timeout(100.0)
+            drop_once["armed"] = False
+
+        sim.process(disarm(sim))
+        files = make_files(2, 200_000)
+        proc = run_upload(sim, modem, files)
+        sim.run(until=DAY)
+        result = proc.value
+        assert result.sent == ["f000", "f001"]
+        assert modem.drops >= 1
+
+    def test_persistent_drop_gives_up(self, rig):
+        sim, _bus, modem = rig
+        modem.drop_hazard_per_s = lambda t: 1.0
+        files = make_files(3, 500_000)
+        proc = run_upload(sim, modem, files, max_reconnects=2)
+        sim.run(until=DAY)
+        result = proc.value
+        assert result.link_lost
+        assert result.sent == []
+
+    def test_oversized_file_blocks_queue_without_skip(self, rig):
+        """The Section VI livelock: a too-big file at the head of the queue
+        means no progress is ever made."""
+        sim, _bus, modem = rig
+        files = [StoredFile("huge", 6_000_000, created=0.0)] + make_files(2, 100_000, start=1.0)
+
+        def guarded(sim):
+            yield sim.process(modem.connect())
+            inner = sim.process(upload_files(sim, modem, files, window_s=2 * HOUR))
+            yield sim.timeout(2 * HOUR)
+            if inner.is_alive:
+                inner.interrupt("watchdog")
+            result = yield inner
+            return result
+
+        outer = sim.process(guarded(sim))
+        sim.run(until=DAY)
+        result = outer.value
+        assert result.oversized == "huge"
+        assert result.sent == []  # nothing behind it ever went
+
+    def test_oversized_file_skipped_when_configured(self, rig):
+        sim, _bus, modem = rig
+        files = [StoredFile("huge", 6_000_000, created=0.0)] + make_files(2, 100_000, start=1.0)
+        proc = run_upload(sim, modem, files, window_s=2 * HOUR, skip_oversized=True)
+        sim.run(until=DAY)
+        result = proc.value
+        assert result.oversized == "huge"
+        assert result.sent == ["f000", "f001"]
+
+    def test_multi_day_backlog_clears_file_by_file(self, rig):
+        """An outage backlog drains over several daily windows."""
+        sim, _bus, modem = rig
+        backlog = make_files(12, 1_500_000)  # 18 MB; window moves ~4.5 MB
+        remaining = list(backlog)
+        days_needed = 0
+
+        def one_day(sim):
+            yield sim.process(modem.connect())
+            inner = sim.process(upload_files(sim, modem, list(remaining)))
+            yield sim.timeout(2 * HOUR)
+            if inner.is_alive:
+                inner.interrupt("watchdog")
+            result = yield inner
+            modem.disconnect()
+            for name in result.sent:
+                remaining[:] = [f for f in remaining if f.name != name]
+
+        for day in range(8):
+            if remaining:
+                days_needed += 1
+                sim.process(one_day(sim))
+                sim.run(until=(day + 1) * DAY)
+        assert remaining == []
+        assert 4 <= days_needed <= 7

@@ -1,0 +1,117 @@
+"""Tests for the Norway-era radio-relay architecture (Section II)."""
+
+import pytest
+
+from repro.core.legacy import ADSL_UPLINK, RadioRelayDeployment, RelayConfig
+from repro.sim.simtime import DAY, HOUR
+
+
+def make_relay(seed=3, **overrides):
+    config = RelayConfig(seed=seed, **overrides)
+    return RadioRelayDeployment(config)
+
+
+# A daily volume the 2000 bps radio link can actually carry in one window.
+FITTING_BYTES = 1_200_000
+
+
+class TestRelayHappyPath:
+    def test_data_flows_base_to_southampton(self):
+        relay = make_relay(base_daily_bytes=FITTING_BYTES)
+        relay.run_days(5)
+        assert relay.base.bytes_delivered_to_reference > 0
+        assert relay.delivered_bytes() > 0
+        assert relay.server.received_bytes(kind="relay") > 0
+
+    def test_reference_forwards_both_stations_data(self):
+        relay = make_relay(base_daily_bytes=FITTING_BYTES)
+        relay.run_days(5)
+        # Forwarded volume includes the reference's own data every day.
+        assert relay.reference.bytes_forwarded >= relay.base.bytes_delivered_to_reference
+
+    def test_energy_is_accounted_on_both_buses(self):
+        relay = make_relay(base_daily_bytes=FITTING_BYTES)
+        relay.run_days(5)
+        assert relay.base.comms_energy_wh() > 0
+        assert relay.reference.comms_energy_wh() > 0
+
+    def test_radio_peer_power_follows_sessions(self):
+        relay = make_relay(base_daily_bytes=FITTING_BYTES)
+        relay.run_days(2)
+        # Outside the window the peer radio must be off.
+        assert not relay.reference.radio_load.on
+
+
+class TestVolumeLimit:
+    def test_state3_volume_cannot_cross_the_radio_link(self):
+        """A quantitative reason the relay had to go: 2.2 MB/day needs
+        8800 s of airtime at 2000 bps — more than the whole 2-hour window,
+        so the daily transfer can never complete cleanly."""
+        relay = make_relay(base_daily_bytes=2_200_000, max_reconnects=0)
+        airtime = relay.base.radio.transfer_time_s(2_200_000)
+        assert airtime > relay.config.window_s
+        relay.run_days(4)
+        assert relay.base.bytes_delivered_to_reference == 0 or relay.base.days_failed > 0
+
+
+class TestCoupledFailure:
+    def test_reference_failure_silences_the_base(self):
+        """'if the reference station failed in any way then all
+        communication with the base station would also cease'."""
+        relay = make_relay(base_daily_bytes=FITTING_BYTES)
+        relay.run_days(4)
+        delivered_before = relay.delivered_bytes()
+        relay.fail_reference()
+        relay.run_days(4)
+        assert relay.delivered_bytes() == delivered_before
+        assert relay.base.days_failed >= 3
+
+    def test_dual_gprs_is_decoupled(self):
+        """The redesign's advantage: in the Iceland architecture, killing
+        the reference does not stop base data."""
+        from repro.core import Deployment, DeploymentConfig
+
+        deployment = Deployment(DeploymentConfig(seed=3))
+        deployment.run_days(2)
+        # Kill the reference station outright.
+        deployment.reference.bus.battery.soc = 0.0
+        deployment.reference.bus.sync()
+        before = deployment.server.received_bytes(station="base")
+        deployment.run_days(3)
+        assert deployment.server.received_bytes(station="base") > before
+
+
+class TestDisconnectAmbiguityCost:
+    def test_interference_drops_cost_reconnect_holds(self):
+        relay = make_relay(base_daily_bytes=FITTING_BYTES)
+        # Make the link drop aggressively.
+        relay.base.radio.drop_hazard_per_s = lambda t: 5e-3
+        relay.run_days(4)
+        assert relay.base.ppp.failed_sessions > 0
+        assert relay.base.reconnect_hold_s_total > 0
+
+    def test_clean_finishes_cost_nothing(self):
+        relay = make_relay(base_daily_bytes=FITTING_BYTES)
+        relay.base.radio.drop_hazard_per_s = lambda t: 0.0
+        relay.base.radio.available = lambda t: True
+        relay.run_days(4)
+        assert relay.base.reconnect_hold_s_total == 0.0
+
+
+class TestUplinkVariants:
+    def test_adsl_is_the_default(self):
+        relay = make_relay()
+        assert relay.reference.uplink_spec is ADSL_UPLINK
+
+    def test_gprs_uplink_variant(self):
+        relay = make_relay(uplink="gprs", base_daily_bytes=FITTING_BYTES)
+        relay.run_days(3)
+        assert relay.reference.uplink_spec.name == "GPRS Modem"
+        assert relay.server.received_bytes(kind="relay") > 0
+
+    def test_no_mains_reference_drains(self):
+        relay = make_relay(reference_has_mains=False, base_daily_bytes=FITTING_BYTES)
+        relay.run_days(10)
+        with_mains = make_relay(seed=3, base_daily_bytes=FITTING_BYTES)
+        with_mains.run_days(10)
+        assert relay.reference.bus.battery.soc <= with_mains.reference.bus.battery.soc

@@ -1,0 +1,164 @@
+"""Tests for Table II: states, thresholds, schedules, clamps."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.controller import daily_average_voltage, decide_local_state
+from repro.core.power_policy import (
+    POWER_STATE_TABLE,
+    PowerPolicy,
+    PowerState,
+    PowerStateSpec,
+)
+from repro.core.sync import clamp_override
+
+
+@pytest.fixture
+def policy():
+    return PowerPolicy()
+
+
+class TestTableII:
+    """The table exactly as printed in the paper."""
+
+    def test_state3_row(self):
+        spec = POWER_STATE_TABLE[PowerState.S3]
+        assert spec.min_threshold_v == 12.5
+        assert spec.probe_jobs and spec.sensor_readings
+        assert spec.gps_readings_per_day == 12
+        assert spec.gprs
+
+    def test_state2_row(self):
+        spec = POWER_STATE_TABLE[PowerState.S2]
+        assert spec.min_threshold_v == 12.0
+        assert spec.gps_readings_per_day == 1
+        assert spec.gprs
+
+    def test_state1_row(self):
+        spec = POWER_STATE_TABLE[PowerState.S1]
+        assert spec.min_threshold_v == 11.5
+        assert spec.gps_readings_per_day == 0
+        assert spec.gprs
+
+    def test_state0_row(self):
+        spec = POWER_STATE_TABLE[PowerState.S0]
+        assert spec.min_threshold_v is None
+        assert spec.probe_jobs and spec.sensor_readings  # sensing never stops
+        assert spec.gps_readings_per_day == 0
+        assert not spec.gprs
+
+    def test_probe_jobs_always_allowed(self):
+        """Winter ice is *better* for probe radio, so probe jobs run in
+        every state."""
+        assert all(spec.probe_jobs for spec in POWER_STATE_TABLE.values())
+
+
+class TestStateForVoltage:
+    @pytest.mark.parametrize(
+        "voltage,expected",
+        [
+            (13.0, PowerState.S3),
+            (12.5, PowerState.S3),
+            (12.49, PowerState.S2),
+            (12.0, PowerState.S2),
+            (11.99, PowerState.S1),
+            (11.5, PowerState.S1),
+            (11.49, PowerState.S0),
+            (10.0, PowerState.S0),
+        ],
+    )
+    def test_threshold_sweep(self, policy, voltage, expected):
+        assert policy.state_for_voltage(voltage) is expected
+
+    @given(st.floats(min_value=8.0, max_value=15.0))
+    def test_state_monotone_in_voltage(self, voltage):
+        policy = PowerPolicy()
+        lower = policy.state_for_voltage(voltage - 0.25)
+        upper = policy.state_for_voltage(voltage)
+        assert upper >= lower
+
+
+class TestGpsSchedule:
+    def test_state3_twelve_readings_every_two_hours(self, policy):
+        hours = policy.gps_hours(PowerState.S3)
+        assert len(hours) == 12
+        assert hours == [i * 2.0 for i in range(12)]
+
+    def test_state2_single_reading(self, policy):
+        assert policy.gps_hours(PowerState.S2) == [11.0]
+
+    def test_states_0_and_1_no_gps(self, policy):
+        assert policy.gps_hours(PowerState.S1) == []
+        assert policy.gps_hours(PowerState.S0) == []
+
+    def test_reading_duration_calibrated_to_117_days(self, policy):
+        """The paper's pair: 5 days continuous, 117 days at state 3."""
+        battery_wh = 36.0 * 12.0
+        daily_wh = policy.daily_gps_energy_j(PowerState.S3) / 3600.0
+        assert battery_wh / daily_wh == pytest.approx(117.0, rel=1e-9)
+
+    def test_continuous_vs_state3_ratio(self, policy):
+        continuous_daily_wh = 3.6 * 24.0
+        state3_daily_wh = policy.daily_gps_energy_j(PowerState.S3) / 3600.0
+        assert continuous_daily_wh / state3_daily_wh == pytest.approx(117.0 / 5.0, rel=1e-9)
+
+
+class TestDailyAverage:
+    def test_empty_log_is_none(self):
+        assert daily_average_voltage([]) is None
+
+    def test_mean(self):
+        samples = [(0.0, 12.0), (1.0, 12.5), (2.0, 13.0)]
+        assert daily_average_voltage(samples) == pytest.approx(12.5)
+
+    def test_decide_uses_average_not_midday_peak(self):
+        """The averaging rationale: midday is the daily *peak*, so a midday
+        instantaneous reading would overstate battery health."""
+        policy = PowerPolicy()
+        overnight = [(float(h), 11.8) for h in range(24)]
+        midday_peak = 12.6
+        state, used = decide_local_state(policy, overnight, midday_peak)
+        assert used == pytest.approx(11.8)
+        assert state is PowerState.S1
+        # Without the log the instantaneous reading would have said state 3.
+        state_no_log, _ = decide_local_state(policy, [], midday_peak)
+        assert state_no_log is PowerState.S3
+
+
+class TestClampOverride:
+    def test_none_override_keeps_local(self):
+        assert clamp_override(PowerState.S2, None) is PowerState.S2
+
+    def test_override_lowers(self):
+        assert clamp_override(PowerState.S3, 2) is PowerState.S2
+
+    def test_override_cannot_raise_above_battery(self):
+        """'does not allow the state to be set higher than the battery
+        voltage allows'."""
+        assert clamp_override(PowerState.S1, 3) is PowerState.S1
+
+    def test_cannot_force_state_zero(self):
+        """'or for the station to be forced into power state 0'."""
+        assert clamp_override(PowerState.S3, 0) is PowerState.S1
+
+    def test_local_zero_stays_zero(self):
+        # Local state 0 is the battery's own verdict, not a remote force.
+        assert clamp_override(PowerState.S0, 3) is PowerState.S0
+
+    @given(
+        st.sampled_from(list(PowerState)),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=3)),
+    )
+    def test_clamp_invariants(self, local, override):
+        effective = clamp_override(local, override)
+        assert effective <= local
+        if override is not None and local >= PowerState.S1:
+            assert effective >= PowerState.S1
+
+
+class TestCustomPolicy:
+    def test_threshold_override(self):
+        table = dict(POWER_STATE_TABLE)
+        table[PowerState.S3] = PowerStateSpec(PowerState.S3, 13.0, True, True, 12, True)
+        policy = PowerPolicy(table=table)
+        assert policy.state_for_voltage(12.7) is PowerState.S2

@@ -1,0 +1,131 @@
+"""Tests for data-priority communication (paper §VII future work)."""
+
+import pytest
+
+from repro.core.priority import DataPrioritizer, PriorityEvent, PrioritizerConfig
+
+
+def reading(probe_id, conductivity=None, pressure=None):
+    channels = {}
+    if conductivity is not None:
+        channels["conductivity_us"] = conductivity
+    if pressure is not None:
+        channels["pressure_m"] = pressure
+    return {"probe_id": probe_id, "channels": channels}
+
+
+@pytest.fixture
+def prioritizer():
+    return DataPrioritizer(PrioritizerConfig(baseline_window=8))
+
+
+class TestMeltOnsetDetection:
+    def test_flat_baseline_no_event(self, prioritizer):
+        for _day in range(20):
+            events = prioritizer.analyse([reading(21, conductivity=0.8)], [21])
+            assert events == []
+
+    def test_jump_above_baseline_triggers(self, prioritizer):
+        for _ in range(10):
+            prioritizer.analyse([reading(21, conductivity=0.8)], [21])
+        events = prioritizer.analyse([reading(21, conductivity=6.0)], [21])
+        assert any(e.kind == "melt_onset" and e.probe_id == 21 for e in events)
+
+    def test_needs_history_before_triggering(self, prioritizer):
+        # First-ever reading can't be compared to anything.
+        events = prioritizer.analyse([reading(21, conductivity=50.0)], [21])
+        assert all(e.kind != "melt_onset" for e in events)
+
+    def test_slow_ramp_does_not_trigger(self):
+        prioritizer = DataPrioritizer(PrioritizerConfig(baseline_window=8,
+                                                        conductivity_jump_us=3.0))
+        value = 0.8
+        for _ in range(60):
+            events = prioritizer.analyse([reading(21, conductivity=value)], [21])
+            assert all(e.kind != "melt_onset" for e in events)
+            value += 0.05  # gentler than the jump threshold per step
+
+    def test_per_probe_baselines(self, prioritizer):
+        for _ in range(10):
+            prioritizer.analyse(
+                [reading(21, conductivity=0.8), reading(24, conductivity=10.0)],
+                [21, 24],
+            )
+        # Probe 24 at 10 is normal *for probe 24*; 10 on probe 21 is a jump.
+        events = prioritizer.analyse(
+            [reading(21, conductivity=10.0), reading(24, conductivity=10.0)],
+            [21, 24],
+        )
+        kinds = {(e.kind, e.probe_id) for e in events}
+        assert ("melt_onset", 21) in kinds
+        assert ("melt_onset", 24) not in kinds
+
+
+class TestPressureAndSilence:
+    def test_pressure_surge(self, prioritizer):
+        events = prioritizer.analyse([reading(25, pressure=90.0)], [25])
+        assert any(e.kind == "pressure_surge" for e in events)
+
+    def test_normal_pressure_quiet(self, prioritizer):
+        events = prioritizer.analyse([reading(25, pressure=40.0)], [25])
+        assert events == []
+
+    def test_probe_silence_detected_once(self, prioritizer):
+        prioritizer.analyse([reading(21, pressure=30.0)], [21, 24])
+        events = prioritizer.analyse([reading(21, pressure=30.0)], [21])  # 24 vanished
+        assert any(e.kind == "probe_silent" and e.probe_id == 24 for e in events)
+        # Not re-reported the next day.
+        events = prioritizer.analyse([reading(21, pressure=30.0)], [21])
+        assert all(e.kind != "probe_silent" for e in events)
+
+
+class TestBudget:
+    def test_silence_alone_does_not_force_comms(self, prioritizer):
+        events = [PriorityEvent("probe_silent", 24, 0.0, "")]
+        assert not prioritizer.should_force_comms(events, month=1)
+
+    def test_science_event_forces_comms(self, prioritizer):
+        events = [PriorityEvent("melt_onset", 21, 9.0, "")]
+        assert prioritizer.should_force_comms(events, month=1)
+
+    def test_monthly_budget_enforced(self, prioritizer):
+        events = [PriorityEvent("pressure_surge", 21, 90.0, "")]
+        grants = [prioritizer.should_force_comms(events, month=2) for _ in range(6)]
+        assert grants == [True, True, True, False, False, False]
+
+    def test_budget_resets_next_month(self, prioritizer):
+        events = [PriorityEvent("pressure_surge", 21, 90.0, "")]
+        for _ in range(3):
+            prioritizer.should_force_comms(events, month=3)
+        assert prioritizer.should_force_comms(events, month=4)
+
+
+class TestEndToEnd:
+    def test_state0_station_uploads_priority_event(self):
+        """A starving (state 0) station with priority comms enabled still
+        reports a pressure surge; without the flag it stays silent."""
+        from repro.core import Deployment, DeploymentConfig
+        from repro.core.config import StationConfig
+        from repro.core.priority import PrioritizerConfig
+
+        def run(enabled):
+            base = StationConfig(
+                solar_w=0.0, wind_w=0.0, initial_soc=0.30,  # state 0 at once
+                data_priority_comms=enabled,
+            )
+            deployment = Deployment(DeploymentConfig(
+                seed=55, base=base, probe_lifetimes_days=[10_000.0] * 7))
+            if enabled:
+                # Make the surge easy to trigger in September.
+                deployment.base.prioritizer.config.pressure_surge_m = 30.0
+            deployment.run_days(3)
+            return deployment
+
+        silent = run(enabled=False)
+        speaking = run(enabled=True)
+        assert silent.server.received_bytes(station="base", kind="priority") == 0
+        assert speaking.server.received_bytes(station="base", kind="priority") > 0
+        assert speaking.base.priority_uploads >= 1
+        assert speaking.base.skipped_comms_days >= 1  # it *was* in state 0
+        # The upload is tiny: marginal power, minimal spend.
+        assert speaking.server.received_bytes(station="base", kind="priority") < 20_000

@@ -1,0 +1,132 @@
+"""Tests for automatic schedule resetting after exhaustion (Section IV / E11)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.recovery import LAST_RUN_FILE, ScheduleRecovery
+from repro.energy.battery import Battery
+from repro.energy.bus import PowerBus
+from repro.gps.receiver import GpsReceiver
+from repro.hardware.i2c import I2CBus
+from repro.hardware.msp430 import Msp430
+from repro.hardware.storage import CompactFlashCard
+from repro.sim import Simulation
+from repro.sim.simtime import DAY, HOUR
+
+
+@pytest.fixture
+def rig():
+    sim = Simulation(seed=51)
+    bus = PowerBus(sim, Battery(soc=0.9), name="r.power")
+    msp = Msp430(sim, bus, name="r.msp430")
+    i2c = I2CBus(sim, msp)
+    card = CompactFlashCard(name="r.cf")
+    gps = GpsReceiver(sim, bus, name="r.gps", position_fn=lambda t: 0.0)
+    recovery = ScheduleRecovery(sim, "r", card, gps, i2c)
+    return sim, msp, i2c, card, gps, recovery
+
+
+class TestRtcTrust:
+    def test_fresh_station_is_trusted(self, rig):
+        _sim, _msp, _i2c, _card, _gps, recovery = rig
+        assert recovery.rtc_trusted()
+
+    def test_normal_operation_stays_trusted(self, rig):
+        sim, _msp, _i2c, _card, _gps, recovery = rig
+        recovery.record_successful_run()
+        sim.run(until=DAY)
+        assert recovery.rtc_trusted()
+
+    def test_rtc_reset_detected(self, rig):
+        """After a reset the RTC says 1970, which is before the last run."""
+        sim, msp, _i2c, _card, _gps, recovery = rig
+        sim.run(until=DAY)
+        recovery.record_successful_run()
+        msp.rtc.reset()
+        assert not recovery.rtc_trusted()
+
+    def test_last_run_persisted_on_card(self, rig):
+        sim, _msp, _i2c, card, _gps, recovery = rig
+        recovery.record_successful_run()
+        assert card.exists(LAST_RUN_FILE)
+        assert isinstance(recovery.last_run_time(), dt.datetime)
+
+    def test_corrupted_card_treated_as_no_record(self, rig):
+        sim, msp, _i2c, card, _gps, recovery = rig
+        recovery.record_successful_run()
+        card.corrupted = True
+        assert recovery.last_run_time() is None
+        assert recovery.rtc_trusted()  # nothing to compare against
+
+
+class TestClockRecovery:
+    def test_gps_fix_restores_clock(self, rig):
+        sim, msp, _i2c, _card, _gps, recovery = rig
+        sim.run(until=10 * DAY)
+        recovery.record_successful_run()
+        msp.rtc.reset()
+        proc = sim.process(recovery.recover_clock())
+        sim.run(until=sim.now + HOUR)
+        assert proc.value is True
+        assert abs(msp.rtc.error_seconds()) < 1.0
+        assert recovery.recoveries == 1
+
+    def test_recovered_clock_is_trusted_again(self, rig):
+        sim, msp, _i2c, _card, _gps, recovery = rig
+        sim.run(until=10 * DAY)
+        recovery.record_successful_run()
+        msp.rtc.reset()
+        assert not recovery.rtc_trusted()
+        proc = sim.process(recovery.recover_clock())
+        sim.run(until=sim.now + HOUR)
+        assert recovery.rtc_trusted()
+
+    def test_gps_failure_reports_false(self, rig):
+        """'If the system cannot set the time using GPS then the system
+        will sleep for a day and try again' — recover_clock just reports."""
+        sim, msp, _i2c, _card, gps, recovery = rig
+        gps.satellites_visible = lambda t: 3  # storm: no fix possible
+        msp.rtc.reset()
+        proc = sim.process(recovery.recover_clock())
+        sim.run(until=sim.now + HOUR)
+        assert proc.value is False
+        assert recovery.failed_attempts == 1
+
+    def test_retry_next_day_succeeds(self, rig):
+        sim, msp, _i2c, _card, gps, recovery = rig
+        real_sats = gps.satellites_visible
+        gps.satellites_visible = lambda t: 3
+        msp.rtc.reset()
+        proc = sim.process(recovery.recover_clock())
+        sim.run(until=sim.now + HOUR)
+        assert proc.value is False
+        # Sky clears overnight.
+        gps.satellites_visible = real_sats
+        sim.run(until=sim.now + DAY)
+        proc = sim.process(recovery.recover_clock())
+        sim.run(until=sim.now + HOUR)
+        assert proc.value is True
+
+
+class TestNtpFallback:
+    def test_ntp_used_when_gps_fails(self):
+        """The paper's future-work extension, implemented."""
+        sim = Simulation(seed=52)
+        bus = PowerBus(sim, Battery(soc=0.9), name="n.power")
+        msp = Msp430(sim, bus, name="n.msp430")
+        i2c = I2CBus(sim, msp)
+        card = CompactFlashCard(name="n.cf")
+        gps = GpsReceiver(sim, bus, name="n.gps", position_fn=lambda t: 0.0)
+        gps.satellites_visible = lambda t: 0
+        from repro.comms.gprs import GprsModem
+
+        modem = GprsModem(sim, bus, name="n.gprs", outage_probability=0.0)
+        recovery = ScheduleRecovery(sim, "n", card, gps, i2c,
+                                    ntp_fallback=True, gprs_modem=modem)
+        msp.rtc.reset()
+        proc = sim.process(recovery.recover_clock())
+        sim.run(until=sim.now + HOUR)
+        assert proc.value is True
+        assert abs(msp.rtc.error_seconds()) < 1.0
+        assert len(sim.trace.select(kind="ntp_fix")) == 1

@@ -1,0 +1,69 @@
+"""Tests for routine RTC discipline and dGPS window alignment (§II)."""
+
+import pytest
+
+from repro.core import Deployment, DeploymentConfig
+from repro.core.config import StationConfig, reference_defaults
+from repro.server.archive import ScienceArchive
+from repro.sim.simtime import DAY
+
+
+def drifting_deployment(daily_rtc_sync, days, seed=115):
+    base = StationConfig(rtc_drift_ppm=60.0, daily_rtc_sync=daily_rtc_sync)
+    reference = reference_defaults()
+    reference.rtc_drift_ppm = -60.0  # drifting the *other* way: 120 ppm relative
+    reference.daily_rtc_sync = daily_rtc_sync
+    deployment = Deployment(DeploymentConfig(
+        seed=seed, base=base, reference=reference,
+        probe_lifetimes_days=[10_000.0] * 7))
+    deployment.run_days(days)
+    return deployment
+
+
+class TestRtcDiscipline:
+    def test_synced_stations_hold_tight_clocks(self):
+        deployment = drifting_deployment(daily_rtc_sync=True, days=8)
+        assert abs(deployment.base.msp.rtc.error_seconds()) < 10.0
+        assert abs(deployment.reference.msp.rtc.error_seconds()) < 10.0
+
+    def test_unsynced_stations_drift(self):
+        deployment = drifting_deployment(daily_rtc_sync=False, days=8)
+        # 60 ppm over 8 days ~ 41 s each way.
+        assert abs(deployment.base.msp.rtc.error_seconds()) > 30.0
+        assert abs(deployment.reference.msp.rtc.error_seconds()) > 30.0
+
+    def test_discipline_only_runs_with_gps_states(self):
+        """State 1 has no GPS budget, so no routine fixes happen."""
+        base = StationConfig(solar_w=0.0, wind_w=0.0, initial_soc=0.50,
+                             rtc_drift_ppm=60.0, daily_rtc_sync=True)
+        deployment = Deployment(DeploymentConfig(seed=116, base=base))
+        deployment.run_days(5)
+        fixes = deployment.sim.trace.select(source="base.gps", kind="time_fix_ok")
+        assert fixes == []
+
+
+class TestDgpsWindowAlignment:
+    """The consequence §II warns about: relative clock drift slides the
+    MSP-driven dGPS windows apart until differencing fails."""
+
+    def test_aligned_windows_with_discipline(self):
+        deployment = drifting_deployment(daily_rtc_sync=True, days=12)
+        archive = ScienceArchive(deployment.server)
+        assert archive.differential_fraction() > 0.8
+
+    def test_windows_slide_apart_without_discipline(self):
+        # 120 ppm relative drift: ~10.4 s/day; the 307.7 s readings need
+        # >=60 s of overlap, so alignment fails after ~24 days.
+        deployment = drifting_deployment(daily_rtc_sync=False, days=40, seed=117)
+        archive = ScienceArchive(deployment.server)
+        readings_base = archive.gps_readings("base")
+        readings_ref = archive.gps_readings("reference")
+        assert readings_base and readings_ref
+        # Late-deployment readings no longer overlap.
+        from repro.gps.dgps import pair_readings
+
+        late_base = [r for r in readings_base if r.start_time > 32 * DAY]
+        late_ref = [r for r in readings_ref if r.start_time > 32 * DAY]
+        pairs = pair_readings(late_base, late_ref)
+        unmatched = sum(1 for _b, match in pairs if match is None)
+        assert unmatched > len(pairs) * 0.8

@@ -1,0 +1,224 @@
+"""Integration tests: the full station daily run (Fig 4 / E3)."""
+
+import pytest
+
+from repro.core import Deployment, DeploymentConfig, PowerState
+from repro.core.config import StationConfig, reference_defaults
+from repro.sim.simtime import DAY, HOUR
+
+
+def make_deployment(**overrides) -> Deployment:
+    config = DeploymentConfig(seed=7, **overrides)
+    return Deployment(config)
+
+
+@pytest.fixture(scope="class")
+def five_day_deployment():
+    deployment = make_deployment()
+    deployment.run_days(5)
+    return deployment
+
+
+class TestDailyCycle:
+    def test_both_stations_run_daily(self, five_day_deployment):
+        d = five_day_deployment
+        assert d.base.daily_runs == 5
+        assert d.reference.daily_runs == 5
+
+    def test_gumstix_duty_cycle_is_small(self, five_day_deployment):
+        """The whole point of the platform: the Gumstix runs only a small
+        fraction of the day."""
+        d = five_day_deployment
+        duty = d.base.gumstix.total_on_time_s / (5 * DAY)
+        assert duty < 0.10
+
+    def test_runs_never_exceed_watchdog(self, five_day_deployment):
+        d = five_day_deployment
+        for record in d.sim.trace.select(kind="job_complete"):
+            assert record.detail["uptime_s"] <= d.config.base.max_runtime_s + 1.0
+
+    def test_power_states_uploaded_to_server(self, five_day_deployment):
+        d = five_day_deployment
+        assert d.server.power_states.report_for("base") is not None
+        assert d.server.power_states.report_for("reference") is not None
+
+    def test_data_reaches_southampton(self, five_day_deployment):
+        d = five_day_deployment
+        assert d.server.received_bytes(station="base", kind="gps") > 0
+        assert d.server.received_bytes(station="base", kind="probes") > 0
+        assert d.server.received_bytes(station="base", kind="sensors") > 0
+        assert d.server.received_bytes(station="reference", kind="gps") > 0
+
+    def test_probe_data_collected(self, five_day_deployment):
+        d = five_day_deployment
+        assert d.base.readings_collected > 500
+
+    def test_gps_readings_follow_state3_schedule(self, five_day_deployment):
+        d = five_day_deployment
+        # September, healthy battery: state 3 -> ~12 readings/day once the
+        # schedule is applied on day 1.
+        assert d.base.gps.readings_taken >= 4 * 12
+
+    def test_reference_station_has_no_probe_traffic(self, five_day_deployment):
+        d = five_day_deployment
+        assert d.server.received_bytes(station="reference", kind="probes") == 0
+
+    def test_run_sequence_order(self, five_day_deployment):
+        """Fig 4: probe data, then MSP readings, then state upload, then
+        data upload, then override fetch (deployed order)."""
+        d = five_day_deployment
+        trace = d.sim.trace
+        day_start, day_end = 0.0, 1.0 * DAY
+        fetch = [r.time for r in trace.select(kind="fetch_done", start=day_start, end=day_end)]
+        state_up = [
+            r.time
+            for r in trace.select(source="server", kind="power_state_upload", end=day_end)
+        ]
+        override = [
+            r.time for r in trace.select(source="server", kind="override_served", end=day_end)
+        ]
+        sent = [
+            r.time
+            for r in trace.select(source="base.gprs", kind="sent", end=day_end)
+            if r.detail.get("label", "").startswith("outbox/")
+        ]
+        assert fetch and state_up and override and sent
+        assert max(fetch) < min(state_up)
+        assert min(state_up) < min(sent)
+        assert max(sent) < max(override)
+
+
+class TestStateDynamics:
+    def test_starving_station_descends_states(self):
+        """No charging at all: the station descends through the states as
+        the battery drains, never climbing back up."""
+        from repro.energy.battery import BatteryConfig
+
+        # A small battery compresses the months-long winter descent into a
+        # testable couple of weeks; thresholds scale with SoC, not Ah.
+        base = StationConfig(
+            solar_w=0.0, wind_w=0.0, initial_soc=0.9,
+            battery=BatteryConfig(capacity_ah=2.0),
+        )
+        deployment = make_deployment(base=base)
+        deployment.run_days(16)
+        states = [s for _t, s in deployment.state_series("base")]
+        assert states[0] >= 2
+        assert states[-1] <= 1
+        assert all(b <= a for a, b in zip(states, states[1:]))  # monotone descent
+        assert 2 in states  # passes through the intermediate state
+
+    def test_state0_does_no_comms(self):
+        base = StationConfig(solar_w=0.0, wind_w=0.0, initial_soc=0.30)
+        deployment = make_deployment(base=base)
+        deployment.run_days(10)
+        d = deployment
+        assert d.base.skipped_comms_days > 0
+        # Once in state 0, nothing more reaches the server from base.
+        state0_day = next(t for t, s in d.state_series("base") if s == 0)
+        later_uploads = [
+            u for u in d.server.uploads if u.station == "base" and u.time > state0_day + DAY
+        ]
+        assert later_uploads == []
+
+    def test_manual_override_holds_station_down(self):
+        """The Fig 5 situation: voltage allows state 3 but the server holds
+        the station at 2."""
+        deployment = make_deployment()
+        deployment.set_manual_override(2)
+        deployment.run_days(4)
+        states = [s for _t, s in deployment.state_series("base")]
+        assert all(s <= 2 for s in states)
+        assert deployment.base.local_state is PowerState.S3  # battery is fine
+
+    def test_releasing_override_restores_state3(self):
+        deployment = make_deployment()
+        deployment.set_manual_override(2)
+        deployment.run_days(3)
+        deployment.set_manual_override(None)
+        deployment.run_days(3)
+        states = [s for _t, s in deployment.state_series("base")]
+        assert states[-1] == 3
+
+    def test_min_rule_couples_the_stations(self):
+        """A starving reference station drags the healthy base down."""
+        reference = reference_defaults()
+        reference.solar_w = 0.0
+        reference.mains_w = 0.0
+        reference.initial_soc = 0.45
+        deployment = make_deployment(reference=reference)
+        deployment.run_days(8)
+        base_states = [s for _t, s in deployment.state_series("base")]
+        ref_states = [s for _t, s in deployment.state_series("reference")]
+        assert min(ref_states) <= 1
+        # Base follows reference down (with up to a day's lag) despite a
+        # healthy battery.
+        assert min(base_states) <= 1
+        assert deployment.base.local_state is PowerState.S3
+
+
+class TestBrownoutRecoveryEndToEnd:
+    def test_full_exhaustion_then_schedule_reset(self):
+        """E11: starve the base station to brown-out, recharge, and watch
+        the Section IV recovery bring it back in state 0."""
+        base = StationConfig(solar_w=0.0, wind_w=0.0, initial_soc=0.18)
+        deployment = make_deployment(base=base)
+        deployment.run_days(1)
+        # A winter of leakage, compressed: a stuck load flattens the battery.
+        deployment.base.bus.add_load("test.leak", 12.0)
+        deployment.base.bus.loads.switch_on("test.leak")
+        deployment.run_days(11)
+        trace = deployment.sim.trace
+        assert len(trace.select(source="base.power", kind="brownout")) == 1
+        assert len(trace.select(source="base.msp430.rtc", kind="rtc_reset")) == 1
+
+        # Field-style rescue: attach solar retroactively via direct charge.
+        deployment.base.bus.battery.soc = 0.5
+        deployment.base.bus.sync()
+        deployment.run_days(3)
+        assert len(trace.select(source="base.power", kind="recovery")) == 1
+        # The reboot ran the RTC-untrusted path and recovered the clock.
+        assert len(trace.select(source="base", kind="rtc_untrusted")) >= 1
+        assert deployment.base.recovery.recoveries >= 1
+        assert abs(deployment.base.msp.rtc.error_seconds()) < 1.0
+        # Restarted in state 0 (Table II floor) until the next daily cycle.
+        applied = [s for _t, s in deployment.state_series("base")]
+        assert 0 in applied
+
+
+class TestSpecialCommands:
+    def test_special_executes_and_output_arrives_next_day(self):
+        """E13: the 24-hour output delay of the deployed ordering."""
+        deployment = make_deployment()
+        deployment.run_days(1)  # day 1 cycle done
+        deployment.server.stage_special("base", lambda: "df -h output")
+        deployment.run_days(2)
+        trace = deployment.sim.trace
+        executed = trace.select(source="base", kind="special_executed")
+        assert len(executed) == 1
+        # Output travels in the *next* day's log upload.
+        log_uploads = [
+            u for u in deployment.server.uploads
+            if u.station == "base" and u.kind == "logs" and u.payload["special_outputs"]
+        ]
+        assert len(log_uploads) == 1
+        delay = log_uploads[0].time - executed[0].time
+        assert 0.9 * DAY < delay < 1.1 * DAY
+
+    def test_special_before_data_variant(self):
+        base = StationConfig(special_before_data=True)
+        deployment = make_deployment(base=base)
+        deployment.run_days(1)
+        deployment.server.stage_special("base", lambda: "ok")
+        deployment.run_days(1)
+        trace = deployment.sim.trace
+        executed = trace.select(source="base", kind="special_executed")
+        sent = [
+            r.time
+            for r in trace.select(source="base.gprs", kind="sent")
+            if r.detail.get("label", "").startswith("outbox/")
+            and r.time > executed[0].time - 2 * HOUR
+        ]
+        assert executed
+        # With the fix, the special ran before that day's data upload.
+        assert any(t > executed[0].time for t in sent)

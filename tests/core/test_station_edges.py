@@ -1,0 +1,142 @@
+"""Edge-case tests of the station daily cycle."""
+
+import pytest
+
+from repro.core import Deployment, DeploymentConfig, PowerState
+from repro.core.config import StationConfig
+from repro.sim.simtime import DAY, HOUR
+
+
+class TestTableIIBehaviourBinding:
+    def test_state1_skips_gps_file_collection(self):
+        """Fig 4: 'Power state >1 -> Get GPS files'; state 1 does not."""
+        base = StationConfig(solar_w=0.0, wind_w=0.0, initial_soc=0.50)  # ~11.7 V
+        deployment = Deployment(DeploymentConfig(seed=81, base=base))
+        deployment.run_days(3)
+        assert deployment.base.local_state is PowerState.S1
+        # No GPS data staged or uploaded.
+        assert deployment.server.received_bytes(station="base", kind="gps") == 0
+        # But GPRS comms continued (state 1 keeps GPRS per Table II).
+        assert deployment.server.received_bytes(station="base", kind="sensors") > 0
+
+    def test_state1_takes_no_gps_readings(self):
+        base = StationConfig(solar_w=0.0, wind_w=0.0, initial_soc=0.50)
+        deployment = Deployment(DeploymentConfig(seed=81, base=base))
+        deployment.run_days(3)
+        # After the first schedule application there are no gps_reading
+        # slots, so at most the pre-decision day produced any.
+        assert deployment.base.gps.readings_taken == 0
+
+    def test_probe_jobs_run_even_in_state_zero(self):
+        """Table II: probe jobs in every state (winter ice is better)."""
+        base = StationConfig(solar_w=0.0, wind_w=0.0, initial_soc=0.30)
+        deployment = Deployment(DeploymentConfig(
+            seed=82, base=base, probe_lifetimes_days=[10_000.0] * 7))
+        deployment.run_days(3)
+        assert deployment.base.skipped_comms_days >= 2
+        assert deployment.base.readings_collected > 0  # collected, not sent
+
+    def test_state2_single_gps_reading_per_day(self):
+        base = StationConfig(solar_w=0.0, wind_w=0.0, initial_soc=0.70)  # ~12.2 V
+        deployment = Deployment(DeploymentConfig(seed=83, base=base))
+        deployment.run_days(4)
+        assert deployment.base.local_state is PowerState.S2
+        # Schedule applied end of day 0 -> readings on days 1-3: one each.
+        assert 2 <= deployment.base.gps.readings_taken <= 4
+
+
+class TestCommsFailureDays:
+    def test_total_gprs_outage_day_carries_data_over(self):
+        base = StationConfig(gprs_outage_probability=1.0,
+                             gprs_summer_outage_probability=1.0)
+        deployment = Deployment(DeploymentConfig(seed=84, base=base))
+        deployment.run_days(2)
+        # Nothing reached the server, but the outbox retains everything.
+        assert deployment.server.received_bytes(station="base") == 0
+        assert len(deployment.base.card.list_files("outbox/")) > 0
+        failures = deployment.sim.trace.select(source="base", kind="comms_failed")
+        assert len(failures) == 2
+
+    def test_outage_recovery_uploads_backlog(self):
+        base = StationConfig(gprs_outage_probability=1.0,
+                             gprs_summer_outage_probability=1.0)
+        deployment = Deployment(DeploymentConfig(seed=84, base=base))
+        deployment.run_days(2)
+        deployment.base.modem.outage_probability = 0.0
+        deployment.base.modem.summer_outage_probability = 0.0
+        deployment.run_days(2)
+        # Multiple days' worth arrived once the network returned.
+        assert deployment.server.received_bytes(station="base", kind="sensors") > 0
+        assert deployment.server.received_bytes(station="base", kind="logs") > 0
+
+
+class TestScheduleConfig:
+    def test_custom_comms_hour(self):
+        base = StationConfig(wake_hour=6.0, comms_hour=6.25)
+        deployment = Deployment(DeploymentConfig(seed=85, base=base))
+        deployment.run_days(1)
+        starts = deployment.sim.trace.select(source="base", kind="run_start")
+        assert starts
+        assert starts[0].time == pytest.approx(6.0 * HOUR + 60.0, abs=120.0)
+
+    def test_reference_fixed_position(self):
+        deployment = Deployment(DeploymentConfig(seed=85))
+        t = deployment.sim.now + 40 * DAY
+        assert deployment.reference.gps.position_fn(t) == 0.0
+        assert deployment.base.gps.position_fn(t) > 0.0
+
+
+class TestWatchdogUptimeAccounting:
+    def test_total_on_time_counts_all_sessions(self):
+        deployment = Deployment(DeploymentConfig(seed=86))
+        deployment.run_days(3)
+        gumstix = deployment.base.gumstix
+        assert gumstix.power_cycles == 3
+        assert gumstix.total_on_time_s > 3 * gumstix.boot_s
+        assert gumstix.total_on_time_s < 3 * deployment.config.base.max_runtime_s
+
+
+class TestAutoUpdate:
+    def test_published_release_installs_on_next_session(self):
+        from repro.server.deployment import CodeRelease
+
+        deployment = Deployment(DeploymentConfig(seed=87))
+        deployment.run_days(1)
+        release = CodeRelease("basestation.py", 2, "v2", 50_000)
+        deployment.server.publish_release(release)
+        deployment.run_days(1)
+        assert deployment.base.installed_versions.get("basestation.py") == 2
+        assert deployment.reference.installed_versions.get("basestation.py") == 2
+        report = deployment.server.last_checksum_report("basestation.py")
+        assert report is not None and report[3] == release.md5
+
+    def test_same_version_not_redownloaded(self):
+        from repro.server.deployment import CodeRelease
+
+        deployment = Deployment(DeploymentConfig(seed=87))
+        deployment.server.publish_release(CodeRelease("basestation.py", 2, "v2", 50_000))
+        deployment.run_days(3)
+        installs = deployment.sim.trace.select(source="base", kind="code_installed")
+        assert len(installs) == 1
+
+    def test_corrupt_download_retries_next_day(self):
+        from repro.server.deployment import CodeRelease
+
+        base = StationConfig(code_corruption_probability=1.0)
+        deployment = Deployment(DeploymentConfig(seed=87, base=base))
+        deployment.server.publish_release(CodeRelease("basestation.py", 2, "v2", 50_000))
+        deployment.run_days(3)
+        # Every day it tries, fails the checksum, and keeps the old file.
+        mismatches = deployment.sim.trace.select(source="base",
+                                                 kind="code_checksum_mismatch")
+        assert len(mismatches) >= 2
+        assert deployment.base.installed_versions.get("basestation.py") is None
+
+    def test_auto_update_disabled(self):
+        from repro.server.deployment import CodeRelease
+
+        base = StationConfig(auto_update=False)
+        deployment = Deployment(DeploymentConfig(seed=87, base=base))
+        deployment.server.publish_release(CodeRelease("basestation.py", 2, "v2", 50_000))
+        deployment.run_days(2)
+        assert deployment.base.installed_versions.get("basestation.py") is None

@@ -1,0 +1,67 @@
+"""Tests for cold-temperature battery derating (opt-in)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.energy.battery import Battery, BatteryConfig
+
+
+def cold_battery(derating=0.008, soc=1.0):
+    return Battery(
+        config=BatteryConfig(cold_derating_per_c=derating), soc=soc
+    )
+
+
+class TestDefaultOff:
+    def test_disabled_by_default(self):
+        battery = Battery()
+        assert battery.capacity_fraction_at(-40.0) == 1.0
+        assert battery.lifetime_days_at(3.6, -40.0) == battery.lifetime_days(3.6)
+
+    def test_section_iii_anchors_unchanged(self):
+        """The 5-day anchor is quoted at reference temperature and must not
+        shift when the feature stays off."""
+        battery = Battery()
+        assert battery.lifetime_days(3.6) == pytest.approx(5.0)
+
+
+class TestDerating:
+    def test_full_capacity_at_reference(self):
+        battery = cold_battery()
+        assert battery.capacity_fraction_at(20.0) == 1.0
+        assert battery.capacity_fraction_at(35.0) == 1.0
+
+    def test_linear_loss_in_the_cold(self):
+        battery = cold_battery(derating=0.008)
+        # -10 C is 30 degrees below reference: 24% loss.
+        assert battery.capacity_fraction_at(-10.0) == pytest.approx(0.76)
+
+    def test_floor(self):
+        battery = cold_battery(derating=0.008)
+        assert battery.capacity_fraction_at(-100.0) == 0.5
+
+    def test_winter_lifetime_shorter(self):
+        battery = cold_battery()
+        summer = battery.lifetime_days_at(3.6, 15.0)
+        winter = battery.lifetime_days_at(3.6, -10.0)
+        assert winter < summer
+        assert winter == pytest.approx(5.0 * 0.76, rel=0.05)
+
+    def test_zero_load_infinite(self):
+        assert cold_battery().lifetime_days_at(0.0, -10.0) == float("inf")
+
+    @given(st.floats(min_value=-60, max_value=60))
+    def test_fraction_bounded(self, temperature):
+        battery = cold_battery()
+        fraction = battery.capacity_fraction_at(temperature)
+        assert 0.5 <= fraction <= 1.0
+
+    @given(
+        st.floats(min_value=-40, max_value=20),
+        st.floats(min_value=-40, max_value=20),
+    )
+    def test_monotone_in_temperature(self, t_low, t_high):
+        if t_low > t_high:
+            t_low, t_high = t_high, t_low
+        battery = cold_battery()
+        assert battery.capacity_fraction_at(t_low) <= battery.capacity_fraction_at(t_high)

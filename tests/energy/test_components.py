@@ -1,0 +1,75 @@
+"""Tests for the Table I device registry."""
+
+import pytest
+
+from repro.energy.components import (
+    GPRS_MODEM,
+    GPS_RECEIVER,
+    GUMSTIX,
+    RADIO_MODEM,
+    TABLE_I,
+    DeviceSpec,
+    energy_per_megabyte_j,
+    table_i_rows,
+)
+
+
+class TestTableIValues:
+    """The registry must reproduce Table I exactly as printed."""
+
+    def test_gumstix_row(self):
+        assert GUMSTIX.power_mw == pytest.approx(900)
+        assert GUMSTIX.transfer_rate_bps is None
+
+    def test_gprs_row(self):
+        assert GPRS_MODEM.power_mw == pytest.approx(2640)
+        assert GPRS_MODEM.transfer_rate_bps == 5000
+
+    def test_radio_modem_row(self):
+        assert RADIO_MODEM.power_mw == pytest.approx(3960)
+        assert RADIO_MODEM.transfer_rate_bps == 2000
+
+    def test_gps_row(self):
+        assert GPS_RECEIVER.power_mw == pytest.approx(3600)
+        assert GPS_RECEIVER.transfer_rate_bps is None
+
+    def test_table_has_exactly_the_four_paper_rows(self):
+        assert set(TABLE_I) == {"Gumstix", "GPRS Modem", "Radio Modem", "GPS"}
+
+    def test_rows_in_paper_order(self):
+        names = [name for name, _rate, _power in table_i_rows()]
+        assert names == ["Gumstix", "GPRS Modem", "Radio Modem", "GPS"]
+
+
+class TestDerivedQuantities:
+    def test_current_at_nominal_voltage(self):
+        assert GPS_RECEIVER.current_a() == pytest.approx(0.3)
+
+    def test_transfer_seconds(self):
+        # 5000 bps moves 625 bytes per second.
+        assert GPRS_MODEM.transfer_seconds(625) == pytest.approx(1.0)
+
+    def test_transfer_energy(self):
+        assert GPRS_MODEM.transfer_energy_j(625) == pytest.approx(2.64)
+
+    def test_transfer_rate_required(self):
+        with pytest.raises(ValueError):
+            GUMSTIX.transfer_seconds(100)
+
+    def test_gprs_beats_radio_modem_per_megabyte(self):
+        """The architecture argument: GPRS is faster *and* lower power, so
+        its energy per megabyte is far lower."""
+        gprs = energy_per_megabyte_j(GPRS_MODEM)
+        radio = energy_per_megabyte_j(RADIO_MODEM)
+        assert gprs < radio
+        # 2000->5000 bps and 3960->2640 mW compound to roughly 3.4x.
+        assert radio / gprs == pytest.approx(3.43, rel=0.05)
+
+    def test_energy_per_megabyte_includes_gumstix_by_default(self):
+        bare = energy_per_megabyte_j(GPRS_MODEM, include_gumstix=False)
+        full = energy_per_megabyte_j(GPRS_MODEM)
+        assert full - bare == pytest.approx(GUMSTIX.power_w * GPRS_MODEM.transfer_seconds(1_000_000))
+
+    def test_custom_device_spec(self):
+        spec = DeviceSpec("Sensor", power_w=0.010)
+        assert spec.power_mw == pytest.approx(10)

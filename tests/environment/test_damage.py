@@ -1,0 +1,80 @@
+"""Tests for the storm-damage model (Section II antenna argument)."""
+
+import pytest
+
+from repro.environment.damage import STORM_FORCE_MS, Antenna, winter_survival_probability
+from repro.environment.weather import IcelandWeather
+from repro.sim import Simulation
+from repro.sim.simtime import DAY
+
+
+class TestAntenna:
+    def test_invalid_kind(self):
+        sim = Simulation(seed=1)
+        with pytest.raises(ValueError):
+            Antenna(sim, IcelandWeather(seed=1), "a", kind="parabolic")
+
+    def test_no_storms_no_damage(self):
+        sim = Simulation(seed=1)
+        weather = IcelandWeather(seed=1)
+        weather.wind_speed = lambda t: 5.0  # permanent calm
+        antenna = Antenna(sim, weather, "calm", kind="directional", exposure=2.0)
+        sim.run(until=200 * DAY)
+        assert antenna.is_ok
+        assert antenna.storm_days_survived == 0
+
+    def test_constant_storm_kills_directional_quickly(self):
+        sim = Simulation(seed=2)
+        weather = IcelandWeather(seed=2)
+        weather.wind_speed = lambda t: STORM_FORCE_MS + 10.0
+        antenna = Antenna(sim, weather, "stormy", kind="directional", exposure=1.5)
+        sim.run(until=120 * DAY)
+        assert not antenna.is_ok
+        assert antenna.damaged_at is not None
+
+    def test_damage_stops_further_checks(self):
+        sim = Simulation(seed=2)
+        weather = IcelandWeather(seed=2)
+        weather.wind_speed = lambda t: STORM_FORCE_MS + 10.0
+        antenna = Antenna(sim, weather, "s2", kind="directional", exposure=1.5)
+        sim.run(until=120 * DAY)
+        damaged_at = antenna.damaged_at
+        sim.run(until=200 * DAY)
+        assert antenna.damaged_at == damaged_at  # not re-damaged
+
+    def test_repair_restores(self):
+        sim = Simulation(seed=2)
+        weather = IcelandWeather(seed=2)
+        weather.wind_speed = lambda t: STORM_FORCE_MS + 10.0
+        antenna = Antenna(sim, weather, "s3", kind="directional", exposure=1.5)
+        sim.run(until=120 * DAY)
+        antenna.repair()
+        assert antenna.is_ok
+
+    def test_damage_is_traced(self):
+        sim = Simulation(seed=2)
+        weather = IcelandWeather(seed=2)
+        weather.wind_speed = lambda t: STORM_FORCE_MS + 10.0
+        Antenna(sim, weather, "s4", kind="directional", exposure=1.5)
+        sim.run(until=120 * DAY)
+        assert len(sim.trace.select(kind="antenna_damaged")) == 1
+
+
+class TestSectionIIJudgement:
+    def test_directional_unlikely_to_survive_winter(self):
+        """'it was thought unlikely that a directional antenna would
+        survive through the winter on the café'."""
+        p = winter_survival_probability("directional", exposure=1.5, trials=40, seed=3)
+        assert p < 0.4
+
+    def test_omni_whip_survives(self):
+        """The GPRS whips of the final design are robust."""
+        p = winter_survival_probability("omni", trials=40, seed=3)
+        assert p > 0.8
+
+    def test_exposure_matters(self):
+        sheltered = winter_survival_probability("directional", exposure=0.3,
+                                                trials=40, seed=4)
+        exposed = winter_survival_probability("directional", exposure=2.0,
+                                              trials=40, seed=4)
+        assert sheltered > exposed

@@ -1,0 +1,64 @@
+"""Tests for the Norway/Iceland site presets (Section II contrast)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.environment.sites import iceland_site, norway_site, site_by_name
+from repro.environment.weather import IcelandWeather
+from repro.sim.simtime import DAY, from_datetime
+
+
+def at(month, day, year=2009):
+    return from_datetime(dt.datetime(year, month, day, 12, tzinfo=dt.timezone.utc))
+
+
+class TestPresets:
+    def test_lookup(self):
+        assert site_by_name("norway").name == "norway"
+        assert site_by_name("iceland").name == "iceland"
+
+    def test_unknown_site(self):
+        with pytest.raises(ValueError, match="unknown site"):
+            site_by_name("svalbard")
+
+    def test_cafe_mains_difference(self):
+        assert norway_site().cafe_mains_all_year
+        assert not iceland_site().cafe_mains_all_year
+
+
+class TestClimateContrast:
+    def test_iceland_snow_much_deeper_in_late_winter(self):
+        norway = IcelandWeather(norway_site().weather, seed=5)
+        iceland = IcelandWeather(iceland_site().weather, seed=5)
+        t = at(3, 1)
+        assert iceland.snow_depth(t) > 3 * max(norway.snow_depth(t), 0.05)
+
+    def test_norway_snow_stays_below_turbine_limit(self):
+        """The Norway premise: the wind generator keeps working in winter."""
+        norway = IcelandWeather(norway_site().weather, seed=5)
+        worst = max(norway.snow_depth(at(m, 15)) for m in (12, 1, 2, 3))
+        assert worst < 1.2  # the turbine's disabled_snow_depth_m
+
+    def test_iceland_snow_buries_the_turbine(self):
+        iceland = IcelandWeather(iceland_site().weather, seed=5)
+        worst = max(iceland.snow_depth(at(m, 15)) for m in (1, 2, 3))
+        assert worst > 1.2
+
+    def test_winter_wind_power_differs_between_sites(self):
+        """The consequence: a 50 W turbine delivers through a Norway winter
+        and nothing through an Iceland one."""
+        from repro.energy.sources import WindTurbine
+
+        results = {}
+        for site in (norway_site(), iceland_site()):
+            weather = IcelandWeather(site.weather, seed=5)
+            turbine = WindTurbine(weather, rated_w=50.0)
+            total = sum(
+                turbine.power_w(at(2, day) + hour * 3600.0)
+                for day in range(1, 28)
+                for hour in range(0, 24, 3)
+            )
+            results[site.name] = total
+        assert results["iceland"] == 0.0
+        assert results["norway"] > 1000.0

@@ -1,0 +1,127 @@
+"""Tests for the deterministic Iceland weather model."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.environment.weather import IcelandWeather, WeatherConfig
+from repro.sim.simtime import DAY, from_datetime
+
+
+@pytest.fixture
+def weather():
+    return IcelandWeather(seed=11)
+
+
+def at(month, day, hour=12, year=2009):
+    return from_datetime(dt.datetime(year, month, day, hour, tzinfo=dt.timezone.utc))
+
+
+class TestDeterminism:
+    def test_same_seed_same_values(self):
+        a, b = IcelandWeather(seed=5), IcelandWeather(seed=5)
+        t = at(1, 15)
+        assert a.wind_speed(t) == b.wind_speed(t)
+        assert a.temperature_c(t) == b.temperature_c(t)
+        assert a.solar_factor(t) == b.solar_factor(t)
+        assert a.snow_depth(t) == b.snow_depth(t)
+
+    def test_different_seed_differs(self):
+        t = at(1, 15)
+        assert IcelandWeather(seed=1).wind_speed(t) != IcelandWeather(seed=2).wind_speed(t)
+
+    def test_repeated_query_is_stable(self, weather):
+        t = at(6, 1)
+        assert weather.solar_factor(t) == weather.solar_factor(t)
+
+    def test_snow_query_order_does_not_matter(self):
+        a, b = IcelandWeather(seed=9), IcelandWeather(seed=9)
+        t_late, t_early = at(3, 1), at(10, 1, year=2008)
+        assert a.snow_depth(t_late) == b.snow_depth(t_late)
+        # query b out of order first
+        b2 = IcelandWeather(seed=9)
+        b2.snow_depth(t_early)
+        assert b2.snow_depth(t_late) == a.snow_depth(t_late)
+
+
+class TestSolar:
+    def test_night_is_dark(self, weather):
+        assert weather.solar_factor(at(9, 15, hour=1, year=2008)) == 0.0
+
+    def test_winter_midday_is_dim(self, weather):
+        # ~64 N in late December: sun barely above horizon.
+        assert weather.solar_elevation_deg(at(12, 21)) < 3.0
+
+    def test_summer_midday_is_bright(self, weather):
+        assert weather.solar_elevation_deg(at(6, 21)) > 45.0
+
+    def test_solar_factor_bounded(self, weather):
+        for hour in range(24):
+            factor = weather.solar_factor(at(6, 21, hour=hour))
+            assert 0.0 <= factor <= 1.0
+
+    def test_june_has_long_days(self, weather):
+        lit_hours = sum(
+            1 for hour in range(24) if weather.solar_elevation_deg(at(6, 21, hour=hour)) > 0
+        )
+        assert lit_hours >= 20
+
+    def test_december_has_short_days(self, weather):
+        lit_hours = sum(
+            1 for hour in range(24) if weather.solar_elevation_deg(at(12, 21, hour=hour)) > 0
+        )
+        assert lit_hours <= 6
+
+    def test_cloud_transmission_in_band(self, weather):
+        for day in range(0, 365, 30):
+            value = weather.cloud_transmission(day * DAY)
+            assert weather.config.cloud_min_transmission <= value <= 1.0
+
+
+class TestWindAndTemperature:
+    def test_wind_nonnegative(self, weather):
+        assert all(weather.wind_speed(day * DAY + 7777) >= 0 for day in range(365))
+
+    def test_winter_windier_than_summer_on_average(self, weather):
+        winter = [weather.wind_speed(at(1, d)) for d in range(1, 29)]
+        summer = [weather.wind_speed(at(7, d)) for d in range(1, 29)]
+        assert sum(winter) / len(winter) > sum(summer) / len(summer)
+
+    def test_storms_occur(self):
+        weather = IcelandWeather(seed=3)
+        speeds = [weather.wind_speed(at(1, d, hour=h)) for d in range(1, 29) for h in range(0, 24, 3)]
+        assert max(speeds) > 2.0 * (sum(speeds) / len(speeds))
+
+    def test_summer_warmer_than_winter(self, weather):
+        july = [weather.temperature_c(at(7, d)) for d in range(1, 29)]
+        january = [weather.temperature_c(at(1, d)) for d in range(1, 29)]
+        assert sum(july) / len(july) > sum(january) / len(january) + 8.0
+
+    def test_winter_is_below_freezing_on_average(self, weather):
+        january = [weather.temperature_c(at(1, d)) for d in range(1, 29)]
+        assert sum(january) / len(january) < 0.0
+
+
+class TestSnow:
+    def test_snow_starts_at_initial_depth(self):
+        weather = IcelandWeather(WeatherConfig(initial_snow_m=0.3))
+        assert weather.snow_depth(0.0) == pytest.approx(0.3)
+
+    def test_snow_accumulates_over_winter(self, weather):
+        autumn = weather.snow_depth(at(10, 15, year=2008))
+        late_winter = weather.snow_depth(at(3, 15))
+        assert late_winter > autumn + 0.3
+
+    def test_snow_melts_by_late_summer(self, weather):
+        late_winter = weather.snow_depth(at(3, 15))
+        late_summer = weather.snow_depth(at(8, 15))
+        assert late_summer < late_winter * 0.25
+
+    def test_snow_never_negative(self, weather):
+        assert all(weather.snow_depth(day * DAY) >= 0.0 for day in range(0, 720, 10))
+
+    @settings(max_examples=25)
+    @given(st.floats(min_value=0, max_value=720 * DAY))
+    def test_snow_depth_is_pure_function(self, t):
+        assert IcelandWeather(seed=4).snow_depth(t) == IcelandWeather(seed=4).snow_depth(t)

@@ -1,0 +1,115 @@
+"""Tests for continuous recording (ref [12]) and the RS-232 fault mode."""
+
+import pytest
+
+from repro.energy.battery import Battery
+from repro.energy.bus import PowerBus
+from repro.gps.receiver import GpsReceiver
+from repro.sim import Simulation
+from repro.sim.simtime import DAY, HOUR
+
+
+@pytest.fixture
+def rig():
+    sim = Simulation(seed=71)
+    bus = PowerBus(sim, Battery(soc=0.95), name="cg.power")
+    gps = GpsReceiver(sim, bus, name="cg.gps", position_fn=lambda t: 0.0)
+    return sim, bus, gps
+
+
+class TestContinuousRecording:
+    def test_single_growing_file(self, rig):
+        sim, _bus, gps = rig
+        for _session in range(3):
+            proc = sim.process(gps.record_continuous(2 * HOUR))
+            sim.run(until=sim.now + 3 * HOUR)
+        files = gps.pending_files()
+        assert len(files) == 1
+        expected = int(3 * 2 * HOUR * gps.CONTINUOUS_BYTES_PER_S)
+        assert files[0].size_bytes == pytest.approx(expected, rel=0.01)
+
+    def test_daily_volume_is_unmanageable(self, rig):
+        """Section III's data-volume objection: a continuous day produces
+        ~46 MB — an order of magnitude more than a 2-hour GPRS window."""
+        _sim, _bus, gps = rig
+        daily = DAY * gps.CONTINUOUS_BYTES_PER_S
+        window_capacity = 2 * HOUR * 5000 / 8  # GPRS
+        assert daily > 10 * window_capacity
+
+    def test_continuous_power_cost(self, rig):
+        sim, bus, gps = rig
+        proc = sim.process(gps.record_continuous(6 * HOUR))
+        sim.run(until=sim.now + 7 * HOUR)
+        bus.sync()
+        assert bus.loads.get("cg.gps").energy_j == pytest.approx(3.6 * 6 * HOUR, rel=1e-6)
+
+    def test_one_file_exceeds_window_after_days(self, rig):
+        """The §VI oversized-file cause, reproduced: a stuck-continuous
+        receiver accumulates one file too big for any window."""
+        sim, _bus, gps = rig
+        for _day in range(4):
+            sim.process(gps.record_continuous(8 * HOUR))
+            sim.run(until=sim.now + DAY)
+        [stored] = gps.pending_files()
+        window_capacity = 2 * HOUR * 5000 / 8
+        assert stored.size_bytes > window_capacity
+
+
+class TestRs232Fault:
+    def test_fault_raises_and_keeps_file(self, rig):
+        sim, _bus, gps = rig
+        sim.process(gps.take_reading(300.0))
+        sim.run(until=sim.now + HOUR)
+        gps.rs232_fault_probability = 1.0
+        [stored] = gps.pending_files()
+
+        def attempt(sim):
+            try:
+                yield sim.process(gps.fetch_file(stored.name))
+            except IOError:
+                return "failed"
+            return "ok"
+
+        proc = sim.process(attempt(sim))
+        sim.run(until=sim.now + HOUR)
+        assert proc.value == "failed"
+        assert gps.fetch_failures == 1
+        assert len(gps.pending_files()) == 1  # file retained
+
+    def test_fault_wastes_power(self, rig):
+        sim, bus, gps = rig
+        sim.process(gps.take_reading(300.0))
+        sim.run(until=sim.now + HOUR)
+        bus.sync()
+        before = bus.loads.get("cg.gps").energy_j
+        gps.rs232_fault_probability = 1.0
+        [stored] = gps.pending_files()
+
+        def attempt(sim):
+            try:
+                yield sim.process(gps.fetch_file(stored.name))
+            except IOError:
+                pass
+
+        sim.process(attempt(sim))
+        sim.run(until=sim.now + HOUR)
+        bus.sync()
+        wasted = bus.loads.get("cg.gps").energy_j - before
+        assert wasted == pytest.approx(3.6 * gps.fetch_time_s(stored.size_bytes) / 2, rel=1e-6)
+
+    def test_station_survives_flaky_cable(self):
+        """End to end: a flaky RS-232 does not crash the daily cycle; files
+        back up on the receiver and drain when the cable behaves."""
+        from repro.core import Deployment, DeploymentConfig
+
+        deployment = Deployment(DeploymentConfig(seed=72))
+        deployment.base.gps.rs232_fault_probability = 0.6
+        deployment.run_days(6)
+        assert deployment.base.daily_runs == 6  # never crashed
+        aborts = deployment.sim.trace.select(source="base", kind="gps_fetch_aborted")
+        assert len(aborts) >= 1
+        # Now fix the cable: the backlog drains.
+        deployment.base.gps.rs232_fault_probability = 0.0
+        backlog_before = len(deployment.base.gps.pending_files())
+        deployment.run_days(3)
+        assert len(deployment.base.gps.pending_files()) < max(backlog_before, 13)

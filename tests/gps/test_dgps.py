@@ -1,0 +1,155 @@
+"""Tests for differential GPS processing and velocity extraction."""
+
+import pytest
+
+from repro.energy.battery import Battery
+from repro.energy.bus import PowerBus
+from repro.environment.glacier import GlacierModel
+from repro.gps.dgps import (
+    differential_solve,
+    pair_readings,
+    raw_solve,
+    solve_all,
+    velocity_series,
+)
+from repro.gps.files import GpsReading
+from repro.gps.receiver import GpsReceiver
+from repro.sim import Simulation
+from repro.sim.simtime import DAY, HOUR
+
+
+def take_simultaneous_pair(sim, base_gps, ref_gps, duration=300.0):
+    base_proc = sim.process(base_gps.take_reading(duration))
+    ref_proc = sim.process(ref_gps.take_reading(duration))
+    return base_proc, ref_proc
+
+
+@pytest.fixture
+def two_station_rig():
+    sim = Simulation(seed=13)
+    glacier = GlacierModel(seed=13)
+    base_bus = PowerBus(sim, Battery(soc=0.9), name="base.power")
+    ref_bus = PowerBus(sim, Battery(soc=0.9), name="ref.power")
+    base_gps = GpsReceiver(sim, base_bus, "base.gps", glacier.surface_position_m, seed=1)
+    ref_gps = GpsReceiver(sim, ref_bus, "ref.gps", lambda t: 0.0, seed=2)
+    return sim, glacier, base_gps, ref_gps
+
+
+class TestDifferentialSolve:
+    def test_differential_beats_raw_by_orders_of_magnitude(self, two_station_rig):
+        sim, glacier, base_gps, ref_gps = two_station_rig
+        base_proc, ref_proc = take_simultaneous_pair(sim, base_gps, ref_gps)
+        sim.run(until=HOUR)
+        base_r, ref_r = base_proc.value, ref_proc.value
+        truth = glacier.surface_position_m(base_r.start_time + base_r.duration_s / 2)
+
+        raw_error = abs(raw_solve(base_r).position_m - truth)
+        diff_error = abs(differential_solve(base_r, ref_r).position_m - truth)
+        assert diff_error < 0.05
+        assert diff_error < raw_error  # differencing always removes the common mode
+
+    def test_raw_error_is_metre_scale_on_average(self, two_station_rig):
+        sim, glacier, base_gps, ref_gps = two_station_rig
+        errors = []
+
+        def campaign(sim):
+            for _ in range(20):
+                proc = sim.process(base_gps.take_reading(300.0))
+                reading = yield proc
+                truth = glacier.surface_position_m(reading.start_time + 150.0)
+                errors.append(abs(raw_solve(reading).position_m - truth))
+                yield sim.timeout(2 * HOUR)
+
+        sim.process(campaign(sim))
+        sim.run_days(3)
+        assert max(errors) > 0.5  # metre-scale excursions present
+
+    def test_non_overlapping_pair_rejected(self):
+        def reading(start, station):
+            return GpsReading(
+                station=station, start_time=start, duration_s=300.0, satellites=9,
+                size_bytes=1, observed_position_m=0.0, common_error_m=0.0, private_error_m=0.0,
+            )
+
+        with pytest.raises(ValueError, match="overlap"):
+            differential_solve(reading(0.0, "base"), reading(5000.0, "ref"))
+
+    def test_reference_offset_applied(self):
+        base = GpsReading(
+            station="base", start_time=0.0, duration_s=300.0, satellites=9, size_bytes=1,
+            observed_position_m=105.0, common_error_m=5.0, private_error_m=0.0,
+        )
+        ref = GpsReading(
+            station="ref", start_time=0.0, duration_s=300.0, satellites=9, size_bytes=1,
+            observed_position_m=55.0, common_error_m=5.0, private_error_m=0.0,
+        )
+        solution = differential_solve(base, ref, reference_known_position_m=50.0)
+        assert solution.position_m == pytest.approx(100.0)
+        assert solution.differential
+        assert solution.quality == "differential"
+
+
+class TestPairing:
+    def _reading(self, start, station="base"):
+        return GpsReading(
+            station=station, start_time=start, duration_s=300.0, satellites=9, size_bytes=1,
+            observed_position_m=0.0, common_error_m=0.0, private_error_m=0.0,
+        )
+
+    def test_pairs_overlapping(self):
+        base = [self._reading(0.0), self._reading(7200.0)]
+        ref = [self._reading(30.0, "ref"), self._reading(7230.0, "ref")]
+        pairs = pair_readings(base, ref)
+        assert all(match is not None for _b, match in pairs)
+
+    def test_unmatched_base_gets_none(self):
+        base = [self._reading(0.0), self._reading(7200.0)]
+        ref = [self._reading(30.0, "ref")]
+        pairs = pair_readings(base, ref)
+        assert pairs[0][1] is not None
+        assert pairs[1][1] is None
+
+    def test_reference_used_once(self):
+        base = [self._reading(0.0), self._reading(100.0)]
+        ref = [self._reading(50.0, "ref")]
+        pairs = pair_readings(base, ref)
+        matches = [match for _b, match in pairs if match is not None]
+        assert len(matches) == 1
+
+    def test_solve_all_mixes_qualities(self):
+        base = [self._reading(0.0), self._reading(7200.0)]
+        ref = [self._reading(30.0, "ref")]
+        solutions = solve_all(base, ref)
+        assert [s.differential for s in solutions] == [True, False]
+
+
+class TestVelocitySeries:
+    def test_recovers_glacier_velocity(self, two_station_rig):
+        """Daily differential solutions must recover the ~0.1 m/day slide."""
+        sim, glacier, base_gps, ref_gps = two_station_rig
+        solutions = []
+
+        def campaign(sim):
+            for _day in range(10):
+                base_proc, ref_proc = take_simultaneous_pair(sim, base_gps, ref_gps)
+                done = sim.all_of([base_proc, ref_proc])
+                yield done
+                solutions.append(differential_solve(base_proc.value, ref_proc.value))
+                yield sim.timeout(DAY - 300.0)
+
+        sim.process(campaign(sim))
+        sim.run_days(12)
+        velocities = [v for _t, v in velocity_series(solutions)]
+        mean_v = sum(velocities) / len(velocities)
+        true_annual = glacier.surface_position_m(10 * DAY) / 10.0
+        assert mean_v == pytest.approx(true_annual, rel=0.25)
+
+    def test_empty_and_single_series(self):
+        assert velocity_series([]) == []
+        single = raw_solve(
+            GpsReading(
+                station="base", start_time=0.0, duration_s=300.0, satellites=9, size_bytes=1,
+                observed_position_m=0.0, common_error_m=0.0, private_error_m=0.0,
+            )
+        )
+        assert velocity_series([single]) == []

@@ -1,0 +1,69 @@
+"""Property-based tests for differential GPS invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gps.dgps import differential_solve, pair_readings, solve_all
+from repro.gps.files import GpsReading
+
+
+def reading(start, station="base", observed=0.0, common=0.0, private=0.0, duration=300.0):
+    return GpsReading(
+        station=station, start_time=start, duration_s=duration, satellites=9,
+        size_bytes=165_000, observed_position_m=observed,
+        common_error_m=common, private_error_m=private,
+    )
+
+
+class TestDifferencingCancellation:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.floats(min_value=-1000, max_value=1000),  # true base position
+        st.floats(min_value=-5, max_value=5),  # shared atmospheric error
+        st.floats(min_value=-0.02, max_value=0.02),  # base private noise
+        st.floats(min_value=-0.02, max_value=0.02),  # ref private noise
+        st.floats(min_value=-100, max_value=100),  # reference known position
+    )
+    def test_common_error_cancels_exactly(self, truth, common, noise_b, noise_r, ref_pos):
+        base = reading(0.0, "base", observed=truth + common + noise_b,
+                       common=common, private=noise_b)
+        ref = reading(0.0, "ref", observed=ref_pos + common + noise_r,
+                      common=common, private=noise_r)
+        solution = differential_solve(base, ref, reference_known_position_m=ref_pos)
+        # Residual error is exactly the difference of private noises,
+        # independent of the (arbitrarily large) common error.
+        assert solution.position_m - truth == pytest.approx(noise_b - noise_r, abs=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(min_value=-5, max_value=5))
+    def test_differential_never_worse_than_private_noise_budget(self, common):
+        base = reading(0.0, "base", observed=10.0 + common + 0.01, common=common,
+                       private=0.01)
+        ref = reading(0.0, "ref", observed=common - 0.008, common=common, private=-0.008)
+        solution = differential_solve(base, ref)
+        assert abs(solution.position_m - 10.0) <= 0.018 + 1e-12
+
+
+class TestPairingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=0, max_size=12),
+        st.lists(st.integers(min_value=0, max_value=50), min_size=0, max_size=12),
+    )
+    def test_each_reference_used_at_most_once(self, base_slots, ref_slots):
+        base = [reading(slot * 3600.0, "base") for slot in sorted(set(base_slots))]
+        refs = [reading(slot * 3600.0, "ref") for slot in sorted(set(ref_slots))]
+        pairs = pair_readings(base, refs)
+        used = [match for _b, match in pairs if match is not None]
+        assert len(used) == len({id(m) for m in used})  # no reuse
+        assert len(pairs) == len(base)  # every base reading accounted for
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=10))
+    def test_identical_slots_pair_perfectly(self, slots):
+        unique = sorted(set(slots))
+        base = [reading(s * 7200.0, "base") for s in unique]
+        refs = [reading(s * 7200.0, "ref") for s in unique]
+        solutions = solve_all(base, refs)
+        assert all(s.differential for s in solutions)
+        assert len(solutions) == len(unique)

@@ -1,0 +1,149 @@
+"""Tests for the dGPS receiver: readings, files, power, time fixes."""
+
+import pytest
+
+from repro.energy.battery import Battery
+from repro.energy.bus import PowerBus
+from repro.gps.files import NOMINAL_READING_BYTES, GpsReading, reading_file_name, reading_size_bytes
+from repro.gps.receiver import GpsReceiver, TimeFixFailed
+from repro.sim import Simulation
+from repro.sim.simtime import HOUR, MINUTE
+
+
+@pytest.fixture
+def rig():
+    sim = Simulation(seed=8)
+    bus = PowerBus(sim, Battery(soc=0.9), name="g.power")
+    gps = GpsReceiver(sim, bus, name="g.gps", position_fn=lambda t: 0.001 * t / 86400.0)
+    return sim, bus, gps
+
+
+READING_S = 307.7  # the calibrated state-3 reading duration
+
+
+class TestReadingFiles:
+    def test_nominal_size_at_nominal_satellites(self):
+        assert reading_size_bytes(9) == NOMINAL_READING_BYTES
+
+    def test_size_scales_with_satellites(self):
+        assert reading_size_bytes(12) > NOMINAL_READING_BYTES > reading_size_bytes(6)
+
+    def test_negative_satellites_rejected(self):
+        with pytest.raises(ValueError):
+            reading_size_bytes(-1)
+
+    def test_file_name_sortable(self):
+        early = reading_file_name("base", 100.0)
+        late = reading_file_name("base", 10_000.0)
+        assert early < late
+
+    def test_overlap_detection(self):
+        def reading(start, duration=300.0):
+            return GpsReading(
+                station="base", start_time=start, duration_s=duration, satellites=9,
+                size_bytes=1, observed_position_m=0.0, common_error_m=0.0, private_error_m=0.0,
+            )
+
+        assert reading(0.0).overlaps(reading(100.0))
+        assert not reading(0.0).overlaps(reading(400.0))
+        assert not reading(0.0).overlaps(reading(250.0))  # only 50 s overlap
+
+
+class TestTakeReading:
+    def test_reading_stored_on_internal_card(self, rig):
+        sim, _bus, gps = rig
+        sim.process(gps.take_reading(READING_S))
+        sim.run(until=HOUR)
+        files = gps.pending_files()
+        assert len(files) == 1
+        assert files[0].payload.satellites == gps.satellites_visible(READING_S / 2)
+
+    def test_reading_size_near_165kb(self, rig):
+        sim, _bus, gps = rig
+        for i in range(12):
+            sim.call_at(i * 2 * HOUR + 1, lambda: sim.process(gps.take_reading(READING_S)))
+        sim.run_days(1)
+        sizes = [f.size_bytes for f in gps.pending_files()]
+        mean = sum(sizes) / len(sizes)
+        assert 0.6 * NOMINAL_READING_BYTES < mean < 1.4 * NOMINAL_READING_BYTES
+
+    def test_power_cycled_around_reading(self, rig):
+        sim, bus, gps = rig
+        sim.process(gps.take_reading(READING_S))
+        sim.run(until=HOUR)
+        bus.sync()
+        expected_j = gps.load.power_w * READING_S
+        assert bus.loads.get("g.gps").energy_j == pytest.approx(expected_j, rel=1e-6)
+        assert not bus.loads.get("g.gps").on
+
+    def test_reading_energy_matches_paper_state3_budget(self, rig):
+        """12 readings x 307.7 s at 3.6 W ~ 3.69 Wh/day -> 117-day battery."""
+        sim, bus, gps = rig
+
+        def do_readings(sim):
+            for _ in range(12):
+                yield sim.process(gps.take_reading(READING_S))
+                yield sim.timeout(2 * HOUR - READING_S)
+
+        sim.process(do_readings(sim))
+        sim.run_days(1)
+        bus.sync()
+        daily_wh = bus.loads.get("g.gps").energy_j / 3600.0
+        battery_wh = 36.0 * 12.0
+        assert battery_wh / daily_wh == pytest.approx(117.0, rel=0.01)
+
+    def test_killed_reading_releases_power(self, rig):
+        sim, bus, gps = rig
+        proc = sim.process(gps.take_reading(10 * HOUR))
+        sim.call_at(MINUTE, proc.kill)
+        sim.run(until=HOUR)
+        assert not bus.loads.get("g.gps").on
+
+
+class TestTimeFix:
+    def test_time_fix_returns_true_time(self, rig):
+        sim, _bus, gps = rig
+        proc = sim.process(gps.time_fix())
+        sim.run(until=HOUR)
+        assert proc.value == sim.utcnow() or (sim.utcnow() - proc.value).total_seconds() < HOUR
+
+    def test_time_fix_costs_acquisition_time(self, rig):
+        sim, _bus, gps = rig
+        proc = sim.process(gps.time_fix())
+        sim.run(until=HOUR)
+        fixes = sim.trace.select(kind="time_fix_ok")
+        assert fixes[0].time == pytest.approx(gps.acquisition_s)
+
+    def test_time_fix_fails_with_few_satellites(self, rig):
+        sim, _bus, gps = rig
+        gps.satellites_visible = lambda t: 3
+
+        def attempt(sim):
+            try:
+                yield sim.process(gps.time_fix())
+            except TimeFixFailed:
+                return "failed"
+            return "ok"
+
+        proc = sim.process(attempt(sim))
+        sim.run(until=HOUR)
+        assert proc.value == "failed"
+
+
+class TestSerialFetch:
+    def test_fetch_removes_file_and_takes_time(self, rig):
+        sim, _bus, gps = rig
+        sim.process(gps.take_reading(READING_S))
+        sim.run(until=HOUR)
+        [stored] = gps.pending_files()
+        start = sim.now
+        proc = sim.process(gps.fetch_file(stored.name))
+        sim.run(until=2 * HOUR)
+        assert proc.value.size_bytes == stored.size_bytes
+        assert gps.pending_files() == []
+        fetch_trace_time = proc.value.size_bytes / gps.serial_bytes_per_s
+        assert fetch_trace_time == pytest.approx(gps.fetch_time_s(stored.size_bytes))
+
+    def test_fetch_time_for_165kb_is_seconds_not_hours(self, rig):
+        _sim, _bus, gps = rig
+        assert 5.0 < gps.fetch_time_s(NOMINAL_READING_BYTES) < 60.0

@@ -1,0 +1,80 @@
+"""Tests for the I2C command channel (the Fig 2 processor split)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.energy.battery import Battery
+from repro.energy.bus import PowerBus
+from repro.hardware.i2c import I2CBus
+from repro.hardware.msp430 import Msp430, ScheduleEntry
+from repro.sim import Simulation
+from repro.sim.simtime import HOUR
+
+
+@pytest.fixture
+def rig():
+    sim = Simulation(seed=130)
+    bus = PowerBus(sim, Battery(soc=0.9), name="i.power")
+    msp = Msp430(sim, bus, name="i.msp430")
+    return sim, msp, I2CBus(sim, msp, name="i.i2c")
+
+
+class TestTransactions:
+    def test_every_command_logged(self, rig):
+        sim, msp, i2c = rig
+        sim.run(until=2 * HOUR)
+        i2c.read_voltage_log()
+        i2c.read_sensor_log()
+        i2c.read_rtc()
+        i2c.read_battery_voltage()
+        i2c.set_schedule([ScheduleEntry(hour=12.0, action="wake_gumstix")])
+        commands = [t.command for t in i2c.transactions]
+        assert commands == [
+            "read_voltage_log",
+            "read_sensor_log",
+            "read_rtc",
+            "read_battery_voltage",
+            "set_schedule",
+        ]
+
+    def test_transaction_sizes_scale_with_payload(self, rig):
+        sim, msp, i2c = rig
+        sim.run(until=4 * HOUR)  # 8 voltage samples
+        i2c.read_voltage_log()
+        assert i2c.transactions[-1].nbytes == 8 * 8
+
+    def test_transfer_time(self, rig):
+        _sim, _msp, i2c = rig
+        assert i2c.transfer_time_s(8000) == pytest.approx(1.0)
+
+
+class TestCommandEffects:
+    def test_set_rtc_moves_msp_clock(self, rig):
+        sim, msp, i2c = rig
+        target = dt.datetime(2009, 6, 1, 12, 0, tzinfo=dt.timezone.utc)
+        i2c.set_rtc(target)
+        assert msp.rtc.now() == target
+
+    def test_read_rtc_reflects_msp(self, rig):
+        sim, msp, i2c = rig
+        sim.run(until=HOUR)
+        assert i2c.read_rtc() == msp.rtc.now()
+
+    def test_set_schedule_reaches_ram(self, rig):
+        _sim, msp, i2c = rig
+        entries = [ScheduleEntry(hour=h, action="wake_gumstix") for h in (6.0, 18.0)]
+        i2c.set_schedule(entries)
+        assert msp.schedule == entries
+
+    def test_battery_voltage_matches_bus(self, rig):
+        _sim, msp, i2c = rig
+        assert i2c.read_battery_voltage() == pytest.approx(msp.battery_voltage_now())
+
+    def test_consume_semantics(self, rig):
+        sim, msp, i2c = rig
+        sim.run(until=3 * HOUR)
+        first = i2c.read_voltage_log(consume=False)
+        second = i2c.read_voltage_log(consume=True)
+        assert first == second
+        assert i2c.read_voltage_log() == []

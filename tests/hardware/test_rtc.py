@@ -1,0 +1,78 @@
+"""Tests for the real-time clock: drift, set, power-loss reset."""
+
+import datetime as dt
+
+import pytest
+
+from repro.hardware.rtc import RealTimeClock
+from repro.sim import Simulation
+from repro.sim.simtime import DAY, RTC_RESET_DATETIME
+
+
+@pytest.fixture
+def sim():
+    return Simulation(seed=1)
+
+
+class TestBasics:
+    def test_starts_correct(self, sim):
+        rtc = RealTimeClock(sim)
+        assert rtc.now() == sim.utcnow()
+        assert rtc.error_seconds() == pytest.approx(0.0)
+
+    def test_tracks_time_without_drift(self, sim):
+        rtc = RealTimeClock(sim)
+        sim.run(until=1000.0)
+        assert rtc.error_seconds() == pytest.approx(0.0, abs=1e-6)
+
+    def test_positive_drift_runs_fast(self, sim):
+        rtc = RealTimeClock(sim, drift_ppm=100.0)
+        sim.run(until=DAY)
+        # 100 ppm over a day = 8.64 s fast.
+        assert rtc.error_seconds() == pytest.approx(8.64, rel=1e-3)
+
+    def test_negative_drift_runs_slow(self, sim):
+        rtc = RealTimeClock(sim, drift_ppm=-50.0)
+        sim.run(until=DAY)
+        assert rtc.error_seconds() == pytest.approx(-4.32, rel=1e-3)
+
+    def test_set_to_clears_error(self, sim):
+        rtc = RealTimeClock(sim, drift_ppm=200.0)
+        sim.run(until=DAY)
+        rtc.set_to(sim.utcnow())
+        assert rtc.error_seconds() == pytest.approx(0.0, abs=1e-6)
+
+    def test_set_from_true_time_with_skew(self, sim):
+        rtc = RealTimeClock(sim)
+        rtc.set_from_true_time(offset_s=30.0)
+        assert rtc.error_seconds() == pytest.approx(30.0)
+
+    def test_set_naive_datetime_is_utc(self, sim):
+        rtc = RealTimeClock(sim)
+        rtc.set_to(dt.datetime(2009, 6, 1, 12, 0))
+        assert rtc.now().tzinfo is not None
+
+
+class TestReset:
+    def test_reset_goes_to_1970(self, sim):
+        rtc = RealTimeClock(sim)
+        sim.run(until=100 * DAY)
+        rtc.reset()
+        assert rtc.now() == RTC_RESET_DATETIME
+
+    def test_reset_clock_still_advances(self, sim):
+        rtc = RealTimeClock(sim)
+        rtc.reset()
+        sim.run(until=3600.0)
+        assert rtc.now() == RTC_RESET_DATETIME + dt.timedelta(hours=1)
+
+    def test_pre_deployment_detection(self, sim):
+        rtc = RealTimeClock(sim)
+        assert not rtc.is_pre_deployment
+        rtc.reset()
+        assert rtc.is_pre_deployment
+
+    def test_reset_is_traced(self, sim):
+        rtc = RealTimeClock(sim, name="t.rtc")
+        rtc.reset()
+        assert len(sim.trace.select(source="t.rtc", kind="rtc_reset")) == 1

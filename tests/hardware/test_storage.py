@@ -1,0 +1,118 @@
+"""Tests for the compact-flash card model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.storage import CompactFlashCard, StorageCorruption
+
+
+@pytest.fixture
+def card():
+    return CompactFlashCard(capacity_bytes=1000, name="test.cf")
+
+
+class TestFileOperations:
+    def test_write_and_read(self, card):
+        card.write("a.dat", 100, created=1.0, payload={"x": 1})
+        stored = card.read("a.dat")
+        assert stored.size_bytes == 100
+        assert stored.payload == {"x": 1}
+
+    def test_exists(self, card):
+        assert not card.exists("a")
+        card.write("a", 1, created=0.0)
+        assert card.exists("a")
+
+    def test_missing_file(self, card):
+        with pytest.raises(FileNotFoundError):
+            card.read("nope")
+
+    def test_delete(self, card):
+        card.write("a", 100, created=0.0)
+        card.delete("a")
+        assert not card.exists("a")
+        assert card.used_bytes == 0
+
+    def test_delete_missing(self, card):
+        with pytest.raises(FileNotFoundError):
+            card.delete("nope")
+
+    def test_overwrite_replaces_size(self, card):
+        card.write("a", 400, created=0.0)
+        card.write("a", 100, created=1.0)
+        assert card.used_bytes == 100
+
+    def test_list_files_sorted_by_age(self, card):
+        card.write("c", 10, created=3.0)
+        card.write("a", 10, created=1.0)
+        card.write("b", 10, created=2.0)
+        assert [f.name for f in card.list_files()] == ["a", "b", "c"]
+
+    def test_list_files_prefix(self, card):
+        card.write("gps/1", 10, created=1.0)
+        card.write("gps/2", 10, created=2.0)
+        card.write("log/1", 10, created=3.0)
+        assert len(card.list_files("gps/")) == 2
+
+
+class TestCapacity:
+    def test_card_full(self, card):
+        card.write("a", 900, created=0.0)
+        with pytest.raises(IOError, match="full"):
+            card.write("b", 200, created=1.0)
+
+    def test_overwrite_fits_when_replacing(self, card):
+        card.write("a", 900, created=0.0)
+        card.write("a", 950, created=1.0)  # replaces, so it fits
+        assert card.used_bytes == 950
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CompactFlashCard(capacity_bytes=0)
+
+    def test_negative_size_rejected(self, card):
+        with pytest.raises(ValueError):
+            card.write("a", -1, created=0.0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), max_size=10))
+    def test_used_plus_free_is_capacity(self, sizes):
+        card = CompactFlashCard(capacity_bytes=10_000)
+        for i, size in enumerate(sizes):
+            card.write(f"f{i}", size, created=float(i))
+        assert card.used_bytes + card.free_bytes == card.capacity_bytes
+
+
+class TestCorruption:
+    def test_corruption_on_bad_roll(self, card):
+        card.corruption_probability = 0.1
+        assert card.unclean_power_removal(roll=0.05)
+        assert card.corrupted
+
+    def test_no_corruption_on_good_roll(self, card):
+        card.corruption_probability = 0.1
+        assert not card.unclean_power_removal(roll=0.5)
+
+    def test_corrupted_read_fails(self, card):
+        card.write("a", 10, created=0.0)
+        card.corrupted = True
+        with pytest.raises(StorageCorruption):
+            card.read("a")
+        with pytest.raises(StorageCorruption):
+            card.list_files()
+
+    def test_recover_restores_data(self, card):
+        """The field-trip experience: the card corrupted but the data proved
+        recoverable."""
+        card.write("a", 10, created=0.0, payload="data")
+        card.corrupted = True
+        recovered = card.recover()
+        assert not card.corrupted
+        assert [f.name for f in recovered] == ["a"]
+        assert card.read("a").payload == "data"
+
+    def test_writes_still_possible_when_corrupted(self, card):
+        # New appends may land; it's reads that fail (as in the deployment,
+        # where the corruption was only noticed on inspection).
+        card.corrupted = True
+        card.write("b", 10, created=0.0)
+        assert card.used_bytes == 10

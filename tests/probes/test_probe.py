@@ -1,0 +1,143 @@
+"""Tests for the probe model: sampling, tasks, death, the wired probe."""
+
+import pytest
+
+from repro.environment.glacier import GlacierModel
+from repro.probes.probe import Probe, WiredProbe
+from repro.sensors.probe_sensors import make_probe_sensor_suite
+from repro.sim import Simulation
+from repro.sim.simtime import DAY, HOUR, MINUTE
+
+
+@pytest.fixture
+def sim():
+    return Simulation(seed=19)
+
+
+def make_probe(sim, probe_id=21, lifetime_days=1000.0, interval=30 * MINUTE):
+    glacier = GlacierModel(seed=19)
+    return Probe(
+        sim, probe_id=probe_id, sensors=make_probe_sensor_suite(glacier, probe_id),
+        sampling_interval_s=interval, lifetime_days=lifetime_days,
+    )
+
+
+class TestSampling:
+    def test_accumulates_readings(self, sim):
+        probe = make_probe(sim)
+        sim.run(until=DAY)
+        assert probe.buffered_count == 48  # every 30 min
+
+    def test_section_v_scenario_3000_readings_in_two_months(self, sim):
+        """The base station came back after months offline to ~3000 buffered
+        readings (Section V): ~62 days at the default rate."""
+        probe = make_probe(sim)
+        sim.run(until=62.5 * DAY)
+        assert 2900 <= probe.buffered_count <= 3100
+
+    def test_readings_carry_all_channels(self, sim):
+        probe = make_probe(sim)
+        sim.run(until=2 * HOUR)
+        task = probe.task()
+        assert set(task.readings[0].channels) == {"conductivity_us", "tilt_deg", "pressure_m"}
+
+    def test_dead_probe_stops_sampling(self, sim):
+        probe = make_probe(sim, lifetime_days=1.0)
+        sim.run(until=3 * DAY)
+        assert probe.readings_taken <= 49
+
+
+class TestTaskLifecycle:
+    def test_task_freezes_buffer(self, sim):
+        probe = make_probe(sim)
+        sim.run(until=DAY)
+        task = probe.task()
+        assert task.total == 48
+        assert probe.buffered_count == 0
+        # New samples accumulate for the *next* task.
+        sim.run(until=sim.now + 2 * HOUR)
+        assert probe.buffered_count == 4
+        assert probe.task().total == 48  # same outstanding task
+
+    def test_seqs_are_dense(self, sim):
+        probe = make_probe(sim)
+        sim.run(until=DAY)
+        task = probe.task()
+        assert [r.seq for r in task.readings] == list(range(48))
+
+    def test_mark_complete_retires_task(self, sim):
+        probe = make_probe(sim)
+        sim.run(until=DAY)
+        task = probe.task()
+        probe.mark_complete(task.task_id)
+        assert probe.tasks_completed == 1
+        assert probe.task() is None  # nothing new buffered yet
+
+    def test_stale_completion_ignored(self, sim):
+        probe = make_probe(sim)
+        sim.run(until=DAY)
+        task = probe.task()
+        probe.mark_complete(task.task_id + 99)
+        assert probe.tasks_completed == 0
+        assert probe.task() is task
+
+    def test_incomplete_task_survives_across_days(self, sim):
+        """The Section V save: unfinished tasks keep their readings."""
+        probe = make_probe(sim)
+        sim.run(until=DAY)
+        task = probe.task()
+        sim.run(until=sim.now + 5 * DAY)  # days pass with no completion
+        assert probe.task() is task
+        assert task.total == 48
+
+    def test_dead_probe_has_no_task(self, sim):
+        probe = make_probe(sim, lifetime_days=0.5)
+        sim.run(until=2 * DAY)
+        assert probe.task() is None
+
+    def test_next_task_includes_interim_readings(self, sim):
+        probe = make_probe(sim)
+        sim.run(until=DAY)
+        first = probe.task()
+        sim.run(until=sim.now + DAY)
+        probe.mark_complete(first.task_id)
+        second = probe.task()
+        assert second.task_id == first.task_id + 1
+        assert second.total == 48
+
+
+class TestLifetimeSampling:
+    def test_lifetime_drawn_when_unspecified(self, sim):
+        glacier = GlacierModel(seed=19)
+        probe = Probe(sim, 30, make_probe_sensor_suite(glacier, 30), lifetime_days=None)
+        assert probe.dies_at > 0
+        assert probe.dies_at != float("inf")
+
+    def test_lifetimes_differ_across_probes(self, sim):
+        glacier = GlacierModel(seed=19)
+        lifetimes = {
+            Probe(sim, pid, make_probe_sensor_suite(glacier, pid)).dies_at for pid in range(40, 47)
+        }
+        assert len(lifetimes) == 7
+
+
+class TestWiredProbe:
+    def test_immortal_by_default(self, sim):
+        wired = WiredProbe(sim)
+        sim.run(until=1000 * DAY)
+        assert wired.is_alive
+
+    def test_scheduled_death(self, sim):
+        wired = WiredProbe(sim, lifetime_days=10.0)
+        sim.run(until=5 * DAY)
+        assert wired.is_alive
+        sim.run(until=11 * DAY)
+        assert not wired.is_alive
+
+    def test_fail_now_and_repair(self, sim):
+        wired = WiredProbe(sim)
+        wired.fail_now()
+        assert not wired.is_alive
+        wired.schedule_repair(sim.now + 30 * DAY)
+        sim.run(until=31 * DAY)
+        assert wired.is_alive

@@ -1,0 +1,68 @@
+"""Tests for the probe survival model against the paper's anchors (E12)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.probes.reliability import (
+    PAPER_ANCHORS,
+    PAPER_SCALE_DAYS,
+    PAPER_SHAPE,
+    expected_survivors,
+    monte_carlo_survival,
+    sample_lifetime_days,
+    survival_fraction,
+)
+
+
+class TestSurvivalCurve:
+    def test_starts_at_one(self):
+        assert survival_fraction(0.0) == 1.0
+
+    def test_monotone_decreasing(self):
+        times = np.linspace(0, 1500, 50)
+        values = [survival_fraction(t) for t in times]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_paper_anchor_one_year(self):
+        """4 of 7 probes alive after one year."""
+        assert survival_fraction(365.0) == pytest.approx(4.0 / 7.0, abs=0.01)
+
+    def test_paper_anchor_eighteen_months(self):
+        """2 of 7 probes alive after 18 months."""
+        assert survival_fraction(548.0) == pytest.approx(2.0 / 7.0, abs=0.01)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            survival_fraction(-1.0)
+
+    @given(st.floats(min_value=0, max_value=3000))
+    def test_is_probability(self, t):
+        assert 0.0 <= survival_fraction(t) <= 1.0
+
+
+class TestExpectedSurvivors:
+    def test_seven_probe_deployment(self):
+        assert expected_survivors(7, 365.0) == pytest.approx(4.0, abs=0.1)
+        assert expected_survivors(7, 548.0) == pytest.approx(2.0, abs=0.1)
+
+
+class TestMonteCarlo:
+    def test_matches_analytic(self):
+        means = monte_carlo_survival(7, [365.0, 548.0], trials=4000, seed=1)
+        assert means[0] == pytest.approx(4.0, abs=0.15)
+        assert means[1] == pytest.approx(2.0, abs=0.15)
+
+    def test_deterministic_given_seed(self):
+        a = monte_carlo_survival(7, [365.0], trials=100, seed=3)
+        b = monte_carlo_survival(7, [365.0], trials=100, seed=3)
+        assert a == b
+
+    def test_sampler_distribution(self):
+        rng = np.random.default_rng(0)
+        lifetimes = [sample_lifetime_days(rng) for _ in range(3000)]
+        empirical = sum(1 for lt in lifetimes if lt > 365.0) / len(lifetimes)
+        assert empirical == pytest.approx(survival_fraction(365.0), abs=0.03)
+
+    def test_anchors_recorded(self):
+        assert PAPER_ANCHORS == ((365.0, 4.0 / 7.0), (548.0, 2.0 / 7.0))

@@ -1,0 +1,134 @@
+"""Tests for probe and station sensor models."""
+
+import datetime as dt
+
+import pytest
+
+from repro.environment.glacier import GlacierModel
+from repro.environment.weather import IcelandWeather
+from repro.sensors import (
+    ConductivitySensor,
+    PressureSensor,
+    Sensor,
+    TiltSensor,
+    UltrasonicSnowSensor,
+    make_probe_sensor_suite,
+    make_station_sensor_suite,
+)
+from repro.sim.simtime import DAY, from_datetime
+
+
+def at(month, day, hour=12, year=2009):
+    return from_datetime(dt.datetime(year, month, day, hour, tzinfo=dt.timezone.utc))
+
+
+@pytest.fixture
+def glacier():
+    return GlacierModel(seed=3)
+
+
+@pytest.fixture
+def weather():
+    return IcelandWeather(seed=3)
+
+
+class TestSensorBase:
+    def test_gain_and_offset(self):
+        sensor = Sensor("s", signal=lambda t: 10.0, gain=2.0, offset=1.0)
+        assert sensor.sample(0.0) == pytest.approx(21.0)
+
+    def test_quantisation(self):
+        sensor = Sensor("s", signal=lambda t: 1.234, resolution=0.1)
+        assert sensor.sample(0.0) == pytest.approx(1.2)
+
+    def test_clipping(self):
+        sensor = Sensor("s", signal=lambda t: 500.0, clip=(0.0, 100.0))
+        assert sensor.sample(0.0) == 100.0
+
+    def test_noise_is_deterministic(self):
+        a = Sensor("s", signal=lambda t: 0.0, noise_std=1.0, seed=1)
+        b = Sensor("s", signal=lambda t: 0.0, noise_std=1.0, seed=1)
+        assert a.sample(123.0) == b.sample(123.0)
+
+    def test_noise_bounded(self):
+        sensor = Sensor("s", signal=lambda t: 0.0, noise_std=1.0)
+        samples = [sensor.sample(t * 777.0) for t in range(200)]
+        assert all(abs(s) <= 1.7320509 for s in samples)
+        assert max(samples) > 0.5 and min(samples) < -0.5
+
+
+class TestProbeSensors:
+    def test_suite_has_paper_channels(self, glacier):
+        suite = make_probe_sensor_suite(glacier, probe_id=21)
+        assert {s.name for s in suite} == {"conductivity_us", "tilt_deg", "pressure_m"}
+
+    def test_conductivity_tracks_fig6(self, glacier):
+        sensor = ConductivitySensor(glacier, probe_id=21)
+        assert sensor.sample(at(4, 25)) > sensor.sample(at(2, 10)) + 3.0
+
+    def test_conductivity_nonnegative(self, glacier):
+        sensor = ConductivitySensor(glacier, probe_id=24)
+        assert all(sensor.sample(day * DAY) >= 0.0 for day in range(0, 365, 10))
+
+    def test_tilt_increases_over_time(self, glacier):
+        sensor = TiltSensor(glacier, probe_id=25)
+        assert sensor.sample(at(8, 1)) > sensor.sample(at(10, 1, year=2008))
+
+    def test_tilt_jumps_with_slip_events(self, glacier):
+        sensor = TiltSensor(glacier, probe_id=25)
+        # Total summer tilt change should exceed base creep alone because of
+        # slip-event jumps.
+        start, end = at(5, 1), at(9, 1)
+        change = sensor.sample(end) - sensor.sample(start)
+        creep_days = (end - start) / DAY
+        assert change > 0.01 * creep_days  # more than minimum creep
+
+    def test_pressure_diurnal_in_summer(self, glacier):
+        sensor = PressureSensor(glacier, probe_id=21)
+        values = [sensor.sample(at(7, 10, hour=h)) for h in range(24)]
+        assert max(values) - min(values) > 4.0
+
+    def test_probes_have_distinct_noise(self, glacier):
+        a = ConductivitySensor(glacier, probe_id=21)
+        b = ConductivitySensor(glacier, probe_id=24)
+        t = at(6, 15)
+        assert a.sample(t) != b.sample(t)
+
+
+class TestStationSensors:
+    def test_suite_channels(self, weather):
+        suite = make_station_sensor_suite(weather)
+        assert {s.name for s in suite} == {
+            "air_temp_c",
+            "snow_depth_m",
+            "internal_temp_c",
+            "internal_humidity_pct",
+        }
+
+    def test_snow_sensor_tracks_weather(self, weather):
+        sensor = UltrasonicSnowSensor(weather)
+        t = at(3, 1)
+        assert sensor.sample(t) == pytest.approx(weather.snow_depth(t), abs=0.1)
+
+    def test_snow_sensor_clips_at_mount_height(self, weather):
+        sensor = UltrasonicSnowSensor(weather)
+        sensor.signal = lambda t: 10.0
+        assert sensor.sample(0.0) == sensor.MOUNT_HEIGHT_M
+
+    def test_burial_detection(self, weather):
+        sensor = UltrasonicSnowSensor(weather)
+        sensor.signal = lambda t: 10.0
+        assert sensor.is_buried(0.0)
+        sensor.signal = lambda t: 0.2
+        assert not sensor.is_buried(0.0)
+
+    def test_internal_warmer_than_outside_in_winter(self, weather):
+        suite = {s.name: s for s in make_station_sensor_suite(weather)}
+        t = at(1, 15)
+        assert suite["internal_temp_c"].sample(t) > suite["air_temp_c"].sample(t)
+
+    def test_humidity_in_percent_range(self, weather):
+        suite = {s.name: s for s in make_station_sensor_suite(weather)}
+        for day in range(0, 365, 15):
+            value = suite["internal_humidity_pct"].sample(day * DAY)
+            assert 0.0 <= value <= 100.0

@@ -1,0 +1,53 @@
+"""Tests for the §VII enclosure pitch/roll sensors."""
+
+import datetime as dt
+
+import pytest
+
+from repro.environment.weather import IcelandWeather
+from repro.sensors.station_sensors import EnclosureTiltSensor, make_station_sensor_suite
+from repro.sim.simtime import from_datetime
+
+
+def at(month, day, year=2009):
+    return from_datetime(dt.datetime(year, month, day, 12, tzinfo=dt.timezone.utc))
+
+
+@pytest.fixture
+def weather():
+    return IcelandWeather(seed=8)
+
+
+class TestEnclosureTilt:
+    def test_axis_validation(self, weather):
+        with pytest.raises(ValueError):
+            EnclosureTiltSensor(weather, axis="yaw")
+
+    def test_channel_names(self, weather):
+        assert EnclosureTiltSensor(weather, "pitch").name == "enclosure_pitch_deg"
+        assert EnclosureTiltSensor(weather, "roll").name == "enclosure_roll_deg"
+
+    def test_settles_through_the_melt_season(self, weather):
+        sensor = EnclosureTiltSensor(weather, "pitch")
+        before_melt = sensor.sample(at(4, 1))
+        after_melt = sensor.sample(at(9, 1))
+        assert after_melt > before_melt + 1.0
+
+    def test_stable_through_winter(self, weather):
+        sensor = EnclosureTiltSensor(weather, "pitch")
+        december = sensor.sample(at(12, 1))
+        march = sensor.sample(at(3, 1, year=2010))
+        assert abs(march - december) < 0.8  # noise only, no settling
+
+    def test_pitch_settles_faster_than_roll(self, weather):
+        t = at(9, 1)
+        pitch = EnclosureTiltSensor(weather, "pitch").sample(t)
+        roll = EnclosureTiltSensor(weather, "roll").sample(t)
+        assert pitch > roll
+
+    def test_suite_flag(self, weather):
+        plain = make_station_sensor_suite(weather)
+        extended = make_station_sensor_suite(weather, with_tilt=True)
+        assert len(extended) == len(plain) + 2
+        names = {s.name for s in extended}
+        assert "enclosure_pitch_deg" in names and "enclosure_roll_deg" in names

@@ -1,0 +1,116 @@
+"""Tests for the operations console."""
+
+import pytest
+
+from repro.core import Deployment, DeploymentConfig
+from repro.core.config import StationConfig
+from repro.server.deployment import CodeRelease
+from repro.server.operations import OperationsConsole
+from repro.sim.simtime import DAY
+
+
+def healthy_deployment(seed=88, **kwargs):
+    deployment = Deployment(DeploymentConfig(seed=seed, **kwargs))
+    console = OperationsConsole(deployment.sim, deployment.server)
+    return deployment, console
+
+
+class TestDailyReview:
+    def test_healthy_week_raises_no_battery_alerts(self):
+        deployment, console = healthy_deployment()
+        deployment.run_days(7)
+        kinds = console.alerts_by_kind()
+        assert "battery_declining" not in kinds
+        assert "silent" not in kinds
+
+    def test_declining_battery_alerted(self):
+        base = StationConfig(solar_w=0.0, wind_w=0.0, initial_soc=0.8)
+        deployment, console = healthy_deployment(seed=89, base=base)
+        deployment.run_days(10)
+        assert console.alerts_by_kind().get("battery_declining", 0) >= 1
+
+    def test_silent_station_alerted(self):
+        base = StationConfig(gprs_outage_probability=1.0,
+                             gprs_summer_outage_probability=1.0)
+        deployment, console = healthy_deployment(seed=90, base=base)
+        deployment.run_days(5)
+        # The base never uploads... but "silent" needs at least one prior
+        # contact; with zero uploads ever, last_contact is None.  The
+        # reference works, so only the base can be flagged — check it was
+        # not wrongly flagged (no contact history at all):
+        silent = [a for a in console.alerts if a.kind == "silent"]
+        assert all(a.station != "reference" for a in silent)
+
+    def test_silence_after_contact_is_flagged(self):
+        deployment, console = healthy_deployment(seed=91)
+        deployment.run_days(3)  # contact established
+        deployment.base.modem.outage_probability = 1.0
+        deployment.base.modem.summer_outage_probability = 1.0
+        deployment.run_days(4)
+        silent = [a for a in console.alerts if a.kind == "silent" and a.station == "base"]
+        assert silent
+
+
+class TestAutoOverride:
+    def test_declining_station_triggers_system_hold(self):
+        base = StationConfig(solar_w=0.0, wind_w=0.0, initial_soc=0.8)
+        deployment = Deployment(DeploymentConfig(seed=92, base=base))
+        console = OperationsConsole(deployment.sim, deployment.server,
+                                    auto_override=True)
+        deployment.run_days(10)
+        assert console.override_actions
+        _time, target = console.override_actions[0]
+        assert target is not None and target >= 1
+        assert deployment.server.power_states.manual_override is not None
+
+    def test_healthy_system_holds_nothing(self):
+        deployment = Deployment(DeploymentConfig(seed=93))
+        console = OperationsConsole(deployment.sim, deployment.server,
+                                    auto_override=True)
+        deployment.run_days(6)
+        assert deployment.server.power_states.manual_override is None
+
+
+class TestReleaseManagement:
+    def test_release_lifecycle(self):
+        deployment, console = healthy_deployment(seed=94)
+        release = CodeRelease("basestation.py", 2, "v2", 50_000)
+        console.push_release(release)
+        assert console.release_status("basestation.py") == "pending"
+        deployment.server.report_checksum("base", "basestation.py", release.md5)
+        assert console.release_status("basestation.py") == "installed"
+
+    def test_corrupt_status(self):
+        deployment, console = healthy_deployment(seed=94)
+        release = CodeRelease("basestation.py", 2, "v2", 50_000)
+        console.push_release(release)
+        deployment.server.report_checksum("base", "basestation.py", "deadbeef")
+        assert console.release_status("basestation.py") == "corrupt"
+
+    def test_unknown_release(self):
+        _deployment, console = healthy_deployment(seed=94)
+        assert console.release_status("nothere") == "unknown"
+
+
+class TestDataBudget:
+    def test_over_budget_alert_once_per_month(self):
+        deployment = Deployment(DeploymentConfig(seed=96))
+        console = OperationsConsole(deployment.sim, deployment.server,
+                                    monthly_data_budget_mb=3.0)
+        deployment.run_days(6)  # state 3 moves ~2 MB/day: over budget fast
+        budget_alerts = [a for a in console.alerts if a.kind == "data_budget"
+                         and a.station == "base"]
+        assert len(budget_alerts) == 1  # flagged once, not every day
+
+    def test_under_budget_quiet(self):
+        deployment = Deployment(DeploymentConfig(seed=96))
+        console = OperationsConsole(deployment.sim, deployment.server,
+                                    monthly_data_budget_mb=10_000.0)
+        deployment.run_days(4)
+        assert all(a.kind != "data_budget" for a in console.alerts)
+
+    def test_no_budget_configured(self):
+        deployment = Deployment(DeploymentConfig(seed=96))
+        console = OperationsConsole(deployment.sim, deployment.server)
+        deployment.run_days(3)
+        assert all(a.kind != "data_budget" for a in console.alerts)

@@ -1,0 +1,183 @@
+"""Tests for the discrete-event kernel: events, ordering, run control."""
+
+import pytest
+
+from repro.sim import Simulation, StopSimulation
+
+
+@pytest.fixture
+def sim():
+    return Simulation(seed=1)
+
+
+class TestEventBasics:
+    def test_pending_event_has_no_value(self, sim):
+        event = sim.event("e")
+        assert not event.triggered
+        with pytest.raises(RuntimeError):
+            _ = event.value
+
+    def test_succeed_sets_value(self, sim):
+        event = sim.event("e")
+        event.succeed(42)
+        assert event.triggered and event.ok
+        assert event.value == 42
+
+    def test_double_trigger_rejected(self, sim):
+        event = sim.event("e")
+        event.succeed()
+        with pytest.raises(RuntimeError):
+            event.succeed()
+
+    def test_fail_requires_exception(self, sim):
+        event = sim.event("e")
+        with pytest.raises(TypeError):
+            event.fail("not an exception")
+
+    def test_unhandled_failure_propagates_from_run(self, sim):
+        sim.event("boom").fail(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            sim.run()
+
+    def test_defused_failure_does_not_crash(self, sim):
+        event = sim.event("boom")
+        event.fail(ValueError("boom"))
+        event.defuse()
+        sim.run()  # no raise
+
+
+class TestTimeoutsAndOrdering:
+    def test_timeout_advances_clock(self, sim):
+        sim.timeout(25.0)
+        sim.run()
+        assert sim.now == 25.0
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_fifo_order_for_simultaneous_events(self, sim):
+        order = []
+        for i in range(5):
+            timeout = sim.timeout(10.0)
+            timeout.callbacks.append(lambda _evt, i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_events_fire_in_time_order(self, sim):
+        order = []
+        for delay in (30.0, 10.0, 20.0):
+            timeout = sim.timeout(delay)
+            timeout.callbacks.append(lambda _evt, d=delay: order.append(d))
+        sim.run()
+        assert order == [10.0, 20.0, 30.0]
+
+    def test_run_until_leaves_future_events_queued(self, sim):
+        fired = []
+        sim.timeout(100.0).callbacks.append(lambda _evt: fired.append(1))
+        sim.run(until=50.0)
+        assert fired == []
+        assert sim.now == 50.0
+        sim.run(until=150.0)
+        assert fired == [1]
+
+    def test_run_until_advances_clock_even_with_empty_queue(self, sim):
+        sim.run(until=500.0)
+        assert sim.now == 500.0
+
+    def test_run_days(self, sim):
+        sim.run_days(2)
+        assert sim.now == 2 * 86400.0
+
+
+class TestRunControl:
+    def test_stop_ends_run(self, sim):
+        counter = []
+
+        def on_fire(_evt):
+            counter.append(1)
+            sim.stop()
+
+        sim.timeout(10.0).callbacks.append(on_fire)
+        sim.timeout(20.0).callbacks.append(lambda _evt: counter.append(2))
+        sim.run()
+        assert counter == [1]
+
+    def test_stop_simulation_exception_ends_run(self, sim):
+        def raiser(_evt):
+            raise StopSimulation
+
+        sim.timeout(5.0).callbacks.append(raiser)
+        sim.timeout(10.0)
+        sim.run()
+        assert sim.now == 5.0
+
+    def test_call_at(self, sim):
+        fired = []
+        sim.call_at(77.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [77.0]
+
+    def test_call_at_past_rejected(self, sim):
+        sim.timeout(10.0)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.call_at(5.0, lambda: None)
+
+    def test_peek_empty_queue(self, sim):
+        assert sim.peek() == float("inf")
+
+
+class TestCompositeEvents:
+    def test_all_of_waits_for_every_child(self, sim):
+        a, b = sim.timeout(10.0), sim.timeout(20.0)
+        combo = sim.all_of([a, b])
+        results = []
+        combo.callbacks.append(lambda evt: results.append(sim.now))
+        sim.run()
+        assert results == [20.0]
+
+    def test_any_of_fires_on_first(self, sim):
+        a, b = sim.timeout(10.0), sim.timeout(20.0)
+        combo = sim.any_of([a, b])
+        results = []
+        combo.callbacks.append(lambda evt: results.append(sim.now))
+        sim.run()
+        assert results == [10.0]
+
+    def test_all_of_with_already_triggered_children(self, sim):
+        a = sim.event("a")
+        a.succeed(1)
+        sim.run()
+        b = sim.timeout(5.0)
+        combo = sim.all_of([a, b])
+        done = []
+        combo.callbacks.append(lambda evt: done.append(sim.now))
+        sim.run()
+        assert done == [5.0]
+
+
+class TestRngRegistry:
+    def test_streams_are_deterministic(self):
+        sim_a = Simulation(seed=7)
+        sim_b = Simulation(seed=7)
+        assert sim_a.rng.stream("weather").random() == sim_b.rng.stream("weather").random()
+
+    def test_streams_are_independent_of_each_other(self):
+        sim_a = Simulation(seed=7)
+        sim_b = Simulation(seed=7)
+        # Drawing from an unrelated stream must not perturb "weather".
+        sim_b.rng.stream("radio").random()
+        assert sim_a.rng.stream("weather").random() == sim_b.rng.stream("weather").random()
+
+    def test_different_seeds_differ(self):
+        assert (
+            Simulation(seed=1).rng.stream("x").random()
+            != Simulation(seed=2).rng.stream("x").random()
+        )
+
+    def test_contains(self):
+        sim = Simulation()
+        assert "w" not in sim.rng
+        sim.rng.stream("w")
+        assert "w" in sim.rng

@@ -1,0 +1,248 @@
+"""Tests for generator-based processes: waiting, interrupts, kill, errors."""
+
+import pytest
+
+from repro.sim import Interrupt, Simulation
+from repro.sim.events import Timeout
+
+
+@pytest.fixture
+def sim():
+    return Simulation(seed=1)
+
+
+class TestBasicProcesses:
+    def test_process_runs_and_returns(self, sim):
+        def worker(sim):
+            yield sim.timeout(10.0)
+            return "done"
+
+        proc = sim.process(worker(sim))
+        sim.run()
+        assert proc.triggered
+        assert proc.value == "done"
+        assert sim.now == 10.0
+
+    def test_yield_value_comes_from_event(self, sim):
+        seen = []
+
+        def worker(sim):
+            value = yield sim.timeout(5.0, value="payload")
+            seen.append(value)
+
+        sim.process(worker(sim))
+        sim.run()
+        assert seen == ["payload"]
+
+    def test_processes_interleave(self, sim):
+        log = []
+
+        def worker(sim, name, delay):
+            yield sim.timeout(delay)
+            log.append((name, sim.now))
+            yield sim.timeout(delay)
+            log.append((name, sim.now))
+
+        sim.process(worker(sim, "a", 10.0))
+        sim.process(worker(sim, "b", 15.0))
+        sim.run()
+        assert log == [("a", 10.0), ("b", 15.0), ("a", 20.0), ("b", 30.0)]
+
+    def test_process_waits_on_another_process(self, sim):
+        def child(sim):
+            yield sim.timeout(10.0)
+            return 99
+
+        def parent(sim):
+            result = yield sim.process(child(sim))
+            return result + 1
+
+        proc = sim.process(parent(sim))
+        sim.run()
+        assert proc.value == 100
+
+    def test_yielding_non_event_is_an_error(self, sim):
+        def bad(sim):
+            yield 42
+
+        sim.process(bad(sim))
+        with pytest.raises(TypeError, match="must yield Event"):
+            sim.run()
+
+    def test_process_waiting_on_already_triggered_event(self, sim):
+        event = sim.event("pre")
+        event.succeed("early")
+        seen = []
+
+        def worker(sim):
+            value = yield event
+            seen.append((sim.now, value))
+
+        sim.process(worker(sim))
+        sim.run()
+        assert seen == [(0.0, "early")]
+
+
+class TestProcessErrors:
+    def test_exception_in_body_propagates_to_waiter(self, sim):
+        def failing(sim):
+            yield sim.timeout(1.0)
+            raise RuntimeError("hardware fault")
+
+        caught = []
+
+        def parent(sim):
+            try:
+                yield sim.process(failing(sim))
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        sim.process(parent(sim))
+        sim.run()
+        assert caught == ["hardware fault"]
+
+    def test_unwaited_exception_surfaces_from_run(self, sim):
+        def failing(sim):
+            yield sim.timeout(1.0)
+            raise RuntimeError("crash")
+
+        sim.process(failing(sim))
+        with pytest.raises(RuntimeError, match="crash"):
+            sim.run()
+
+    def test_failed_event_raises_at_yield(self, sim):
+        event = sim.event("doomed")
+        caught = []
+
+        def worker(sim):
+            try:
+                yield event
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        sim.process(worker(sim))
+        sim.call_at(5.0, lambda: event.fail(ValueError("link down")))
+        sim.run()
+        assert caught == ["link down"]
+
+
+class TestInterruptAndKill:
+    def test_interrupt_raises_inside_process(self, sim):
+        log = []
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(1000.0)
+            except Interrupt as interrupt:
+                log.append((sim.now, interrupt.cause))
+
+        proc = sim.process(sleeper(sim))
+        sim.call_at(50.0, lambda: proc.interrupt("watchdog"))
+        sim.run()
+        assert log == [(50.0, "watchdog")]
+
+    def test_interrupted_process_can_keep_running(self, sim):
+        log = []
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(1000.0)
+            except Interrupt:
+                pass
+            yield sim.timeout(10.0)
+            log.append(sim.now)
+
+        proc = sim.process(sleeper(sim))
+        sim.call_at(50.0, lambda: proc.interrupt())
+        sim.run()
+        assert log == [60.0]
+
+    def test_cannot_interrupt_finished_process(self, sim):
+        def quick(sim):
+            yield sim.timeout(1.0)
+
+        proc = sim.process(quick(sim))
+        sim.run()
+        with pytest.raises(RuntimeError):
+            proc.interrupt()
+
+    def test_kill_stops_process_immediately(self, sim):
+        log = []
+
+        def sleeper(sim):
+            yield sim.timeout(1000.0)
+            log.append("should not happen")
+
+        proc = sim.process(sleeper(sim))
+        sim.call_at(10.0, proc.kill)
+        sim.run()
+        assert log == []
+        assert proc.triggered
+        assert proc.value is None
+
+    def test_kill_is_idempotent(self, sim):
+        def sleeper(sim):
+            yield sim.timeout(1000.0)
+
+        proc = sim.process(sleeper(sim))
+        sim.call_at(10.0, proc.kill)
+        sim.call_at(20.0, proc.kill)
+        sim.run()
+        assert proc.value is None
+
+    def test_interrupt_does_not_leak_original_timeout(self, sim):
+        """After an interrupt, the original awaited timeout firing later
+        must not resume the process a second time."""
+        resumes = []
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(100.0)
+                resumes.append("timeout")
+            except Interrupt:
+                resumes.append("interrupt")
+            yield sim.timeout(500.0)
+            resumes.append("after")
+
+        proc = sim.process(sleeper(sim))
+        sim.call_at(10.0, lambda: proc.interrupt())
+        sim.run()
+        assert resumes == ["interrupt", "after"]
+
+
+class TestTrace:
+    def test_trace_records_timestamps(self, sim):
+        def worker(sim):
+            yield sim.timeout(30.0)
+            sim.trace.emit("unit", "tick", n=1)
+
+        sim.process(worker(sim))
+        sim.run()
+        [record] = sim.trace.select(kind="tick")
+        assert record.time == 30.0
+        assert record.detail["n"] == 1
+
+    def test_trace_select_filters(self, sim):
+        sim.trace.emit("base.gumstix", "boot")
+        sim.trace.emit("base.msp430", "sample", volts=12.2)
+        sim.trace.emit("ref.msp430", "sample", volts=12.8)
+        assert len(sim.trace.select(source="base")) == 2
+        assert len(sim.trace.select(kind="sample")) == 2
+        assert len(sim.trace.select(source="ref", kind="sample")) == 1
+
+    def test_trace_series(self, sim):
+        sim.trace.emit("m", "v", volts=12.0)
+        sim.trace.emit("m", "v", volts=12.5)
+        series = sim.trace.series("v", "volts")
+        assert [v for _t, v in series] == [12.0, 12.5]
+
+    def test_trace_byte_size_positive(self, sim):
+        sim.trace.emit("m", "v", volts=12.0)
+        assert sim.trace.byte_size() > 10
+
+    def test_subscribe(self, sim):
+        seen = []
+        sim.trace.subscribe(lambda record: seen.append(record.kind))
+        sim.trace.emit("m", "a")
+        sim.trace.emit("m", "b")
+        assert seen == ["a", "b"]

@@ -1,0 +1,102 @@
+"""Tests for simulated-time helpers and the SimClock."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import simtime
+from repro.sim.simtime import (
+    DAY,
+    HOUR,
+    SimClock,
+    day_of_year,
+    fraction_of_day,
+    from_datetime,
+    next_time_of_day,
+    to_datetime,
+)
+
+
+class TestConversions:
+    def test_epoch_round_trip(self):
+        assert to_datetime(0.0) == simtime.DEFAULT_EPOCH
+
+    def test_from_datetime_inverts_to_datetime(self):
+        when = dt.datetime(2009, 3, 15, 12, 30, tzinfo=dt.timezone.utc)
+        assert to_datetime(from_datetime(when)) == when
+
+    def test_naive_datetime_treated_as_utc(self):
+        naive = dt.datetime(2009, 1, 1, 0, 0)
+        aware = dt.datetime(2009, 1, 1, 0, 0, tzinfo=dt.timezone.utc)
+        assert from_datetime(naive) == from_datetime(aware)
+
+    @given(st.floats(min_value=0, max_value=10 * 365 * DAY))
+    def test_round_trip_property(self, seconds):
+        assert from_datetime(to_datetime(seconds)) == pytest.approx(seconds, abs=1e-3)
+
+    def test_day_of_year_at_epoch(self):
+        # 1 Sep 2008 is day 245 (2008 is a leap year).
+        assert day_of_year(0.0) == 245
+
+    def test_fraction_of_day_midday(self):
+        midday = from_datetime(dt.datetime(2008, 9, 2, 12, 0, tzinfo=dt.timezone.utc))
+        assert fraction_of_day(midday) == pytest.approx(0.5)
+
+    def test_fraction_of_day_midnight_is_zero(self):
+        midnight = from_datetime(dt.datetime(2008, 9, 3, tzinfo=dt.timezone.utc))
+        assert fraction_of_day(midnight) == pytest.approx(0.0)
+
+
+class TestNextTimeOfDay:
+    def test_later_today(self):
+        start = from_datetime(dt.datetime(2008, 9, 1, 8, 0, tzinfo=dt.timezone.utc))
+        result = next_time_of_day(start, hour=12.0)
+        assert to_datetime(result).hour == 12
+        assert result - start == pytest.approx(4 * HOUR)
+
+    def test_wraps_to_tomorrow(self):
+        start = from_datetime(dt.datetime(2008, 9, 1, 15, 0, tzinfo=dt.timezone.utc))
+        result = next_time_of_day(start, hour=12.0)
+        assert result - start == pytest.approx(21 * HOUR)
+
+    def test_exactly_at_hour_goes_to_tomorrow(self):
+        start = from_datetime(dt.datetime(2008, 9, 1, 12, 0, tzinfo=dt.timezone.utc))
+        result = next_time_of_day(start, hour=12.0)
+        assert result - start == pytest.approx(DAY)
+
+    @given(
+        st.integers(min_value=0, max_value=365 * 86400),
+        st.integers(min_value=0, max_value=2399),
+    )
+    def test_result_strictly_in_future_within_a_day(self, start_s, hour_hundredths):
+        start, hour = float(start_s), hour_hundredths / 100.0
+        result = next_time_of_day(start, hour)
+        assert start < result <= start + DAY + 1e-6
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance_to(100.0)
+        assert clock.now == 100.0
+
+    def test_refuses_backwards(self):
+        clock = SimClock()
+        clock.advance_to(50.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(49.0)
+
+    def test_utcnow_tracks_epoch(self):
+        clock = SimClock()
+        clock.advance_to(DAY)
+        assert clock.utcnow() == dt.datetime(2008, 9, 2, tzinfo=dt.timezone.utc)
+
+    def test_day_of_year_and_fraction(self):
+        clock = SimClock()
+        clock.advance_to(DAY / 2)
+        assert clock.fraction_of_day() == pytest.approx(0.5)
+        assert clock.day_of_year() == 245

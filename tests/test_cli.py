@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.days == 7.0
+        assert args.seed == 0
+        assert args.override is None
+
+    def test_override_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--override", "5"])
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["science", "--days", "3", "--seed", "9", "--no-wind", "--solar-w", "4"]
+        )
+        assert args.days == 3.0 and args.seed == 9
+        assert args.no_wind and args.solar_w == 4.0
+
+
+class TestCommands:
+    def test_simulate_prints_summary(self, capsys):
+        assert main(["simulate", "--days", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "base" in out and "reference" in out
+        assert "Delivered (MB)" in out
+        assert "Probes alive" in out
+
+    def test_simulate_with_override(self, capsys):
+        assert main(["simulate", "--days", "2", "--override", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "State" in out
+
+    def test_science_prints_velocity(self, capsys):
+        assert main(["science", "--days", "4", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Ice velocity" in out
+        assert "Differential solution fraction" in out
+
+    def test_health_prints_indicators(self, capsys):
+        assert main(["health", "--days", "3", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Battery declining" in out
+        assert "Burial risk" in out
+
+    def test_no_wind_variant_runs(self, capsys):
+        assert main(["simulate", "--days", "2", "--no-wind", "--solar-w", "3"]) == 0
