@@ -6,8 +6,10 @@ Usage::
     repro-sim simulate --days 30 --override 2 --no-wind
     repro-sim science --days 14 --seed 3
     repro-sim health --days 10
+    repro-sim lint src/repro --check-determinism
 
-(Equivalently ``python -m repro.cli ...``.)
+(Equivalently ``python -m repro.cli ...``.  ``repro-sim lint`` forwards to
+the ``repro-lint`` static-analysis gate; see :mod:`repro.lint`.)
 """
 
 from __future__ import annotations
@@ -59,6 +61,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="output format")
     export.add_argument("--what", choices=("velocity", "voltage", "snapshot"),
                         default="velocity", help="which product to export")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism/correctness static analysis (repro-lint)",
+        add_help=False,
+    )
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER,
+                      help="arguments forwarded to repro-lint")
     return parser
 
 
@@ -187,6 +197,14 @@ def _cmd_export(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # Forwarded before argparse: REMAINDER cannot capture a leading
+        # option (e.g. ``repro-sim lint --help``), bpo-17050.
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     handlers = {
         "simulate": _cmd_simulate,

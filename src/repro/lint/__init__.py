@@ -1,0 +1,50 @@
+"""Determinism & simulation-correctness static analysis.
+
+The reproduction's claims (Table II schedules, Fig. 4/5 traces, state-sync
+convergence) are only checkable because a given seed replays bit-for-bit.
+This package enforces the invariants that make that true:
+
+- **static rules** (:mod:`repro.lint.rules`) — AST checks banning wall-clock
+  reads, ad-hoc RNG construction, float equality on physical quantities,
+  mutable defaults, swallowed exceptions, and literal yields in process
+  generators;
+- **an engine** (:mod:`repro.lint.engine`) — file walking, inline
+  ``# repro-lint: disable=<rule>`` suppression, structured findings;
+- **a CLI gate** (:mod:`repro.lint.cli`, installed as ``repro-lint``) —
+  text/JSON output, exit 0/1 for CI;
+- **a runtime harness** (:mod:`repro.lint.determinism`) — replays a short
+  mission twice with one seed and diffs trace digests.
+
+See ``docs/determinism.md`` for the invariant catalogue and how to add rules.
+"""
+
+from repro.lint.engine import lint_paths, lint_source
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import RULE_REGISTRY, Rule, default_rules, register
+
+#: Harness symbols resolved lazily so ``python -m repro.lint.determinism``
+#: does not trigger the found-in-sys.modules RuntimeWarning.
+_DETERMINISM_EXPORTS = ("DeterminismReport", "check_determinism", "trace_digest")
+
+
+def __getattr__(name: str):
+    """Lazy access to the determinism harness exports."""
+    if name in _DETERMINISM_EXPORTS:
+        from repro.lint import determinism
+
+        return getattr(determinism, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "DeterminismReport",
+    "check_determinism",
+    "trace_digest",
+    "lint_paths",
+    "lint_source",
+    "Finding",
+    "Severity",
+    "RULE_REGISTRY",
+    "Rule",
+    "default_rules",
+    "register",
+]

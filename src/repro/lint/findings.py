@@ -1,0 +1,58 @@
+"""Structured lint findings.
+
+A :class:`Finding` is one violation of a simulation invariant: which rule
+fired, where, and why.  Findings are plain data so the engine can sort,
+filter, and render them as text or JSON without the rules knowing about
+output formats.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings fail the CI gate; ``WARNING`` findings are reported
+    but (with ``--warnings-ok``) do not affect the exit code.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def sort_key(self):
+        """Stable ordering: by file, then position, then rule id."""
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (the ``--format json`` record schema)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """One-line human-readable form, ``path:line:col: [rule] message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.severity.value}: [{self.rule}] {self.message}"

@@ -1,0 +1,377 @@
+"""The lint rules: one class per simulation invariant.
+
+Each rule is an AST inspector registered in :data:`RULE_REGISTRY` under a
+stable id.  Rules receive a parsed module plus file metadata and yield
+:class:`~repro.lint.findings.Finding` objects; they never read the
+filesystem themselves, so they are trivially unit-testable on snippets.
+
+To add a rule: subclass :class:`Rule`, set ``id``/``description``, implement
+:meth:`Rule.check`, and decorate with :func:`register`.  See
+``docs/determinism.md`` for the contract each shipped rule protects.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple, Type
+
+from repro.lint.findings import Finding, Severity
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Everything a rule may look at for one file."""
+
+    path: str
+    #: ``path`` normalised to forward slashes, for exemption suffix matching.
+    posix_path: str
+    source: str
+    tree: ast.AST
+
+
+class Rule:
+    """Base class for lint rules."""
+
+    id: str = ""
+    description: str = ""
+    severity: Severity = Severity.ERROR
+    #: Posix path suffixes this rule never applies to (e.g. the rng module
+    #: itself is allowed to call ``np.random.default_rng``).
+    exempt_path_suffixes: Tuple[str, ...] = ()
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Whether this rule runs on ``ctx``'s file at all."""
+        return not any(ctx.posix_path.endswith(sfx) for sfx in self.exempt_path_suffixes)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield a :class:`Finding` for every violation in the file."""
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node``'s source position."""
+        return Finding(
+            rule=self.id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            severity=self.severity,
+        )
+
+
+#: All registered rule classes, keyed by rule id.
+RULE_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to :data:`RULE_REGISTRY`."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    RULE_REGISTRY[cls.id] = cls
+    return cls
+
+
+def default_rules(
+    select: Optional[List[str]] = None, disable: Optional[List[str]] = None
+) -> List[Rule]:
+    """Instantiate the registered rules, honouring select/disable lists."""
+    ids = list(RULE_REGISTRY)
+    if select:
+        unknown = set(select) - set(ids)
+        if unknown:
+            raise KeyError(f"unknown rule id(s): {sorted(unknown)}")
+        ids = [rid for rid in ids if rid in set(select)]
+    if disable:
+        unknown = set(disable) - set(RULE_REGISTRY)
+        if unknown:
+            raise KeyError(f"unknown rule id(s): {sorted(unknown)}")
+        ids = [rid for rid in ids if rid not in set(disable)]
+    return [RULE_REGISTRY[rid]() for rid in ids]
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+def dotted_parts(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` as ``["a", "b", "c"]``, or None if not a pure name chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_literal(node.operand)
+    return False
+
+
+# ----------------------------------------------------------------------
+# Rule 1: wall-clock ban
+# ----------------------------------------------------------------------
+@register
+class WallClockRule(Rule):
+    """Sim-facing code must read time from ``SimClock``, never the host.
+
+    A single ``datetime.now()`` makes two same-seed runs diverge (trace
+    timestamps, schedule decisions), silently breaking replayability.
+    """
+
+    id = "wall-clock"
+    description = "host wall-clock reads (datetime.now/time.time) — use SimClock"
+
+    _DATETIME_ATTRS = {"now", "today", "utcnow"}
+    _TIME_CALLS = {
+        ("time", "time"),
+        ("time", "monotonic"),
+        ("time", "perf_counter"),
+        ("time", "time_ns"),
+        ("time", "monotonic_ns"),
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            parts = dotted_parts(node.func)
+            if not parts or len(parts) < 2:
+                continue
+            tail = tuple(parts[-2:])
+            if tail in self._TIME_CALLS:
+                yield self.finding(
+                    ctx, node,
+                    f"call to {'.'.join(parts)}() reads the host clock; "
+                    "use SimClock/Simulation.now instead",
+                )
+            elif parts[-1] in self._DATETIME_ATTRS and parts[-2] in ("datetime", "date"):
+                yield self.finding(
+                    ctx, node,
+                    f"call to {'.'.join(parts)}() reads the host clock; "
+                    "use SimClock.utcnow()/simtime.to_datetime instead",
+                )
+
+
+# ----------------------------------------------------------------------
+# Rule 2: RNG discipline
+# ----------------------------------------------------------------------
+@register
+class RngDisciplineRule(Rule):
+    """All randomness must flow through ``RngRegistry`` named streams.
+
+    Direct ``np.random.default_rng``/``random.*`` calls create generators
+    whose sequences are not derived from the master seed, so changing one
+    component's draw count perturbs others and ablations stop being
+    comparable (see ``repro.sim.rng``'s module docstring).
+    """
+
+    id = "rng-discipline"
+    description = "ad-hoc RNG construction — use RngRegistry.stream / generator_from_seed"
+    exempt_path_suffixes = ("sim/rng.py",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            parts = dotted_parts(node.func)
+            if not parts:
+                continue
+            if len(parts) == 2 and parts[0] == "random":
+                yield self.finding(
+                    ctx, node,
+                    f"stdlib random.{parts[1]}() bypasses the seeded registry; "
+                    "draw from RngRegistry.stream(name) instead",
+                )
+            elif len(parts) >= 2 and tuple(parts[-2:]) in (
+                ("random", "default_rng"),
+                ("random", "seed"),
+                ("random", "RandomState"),
+            ):
+                yield self.finding(
+                    ctx, node,
+                    f"direct {'.'.join(parts)}() constructs an unregistered stream; "
+                    "use RngRegistry.stream(name) or repro.sim.rng.generator_from_seed",
+                )
+
+
+# ----------------------------------------------------------------------
+# Rule 3: float equality
+# ----------------------------------------------------------------------
+@register
+class FloatEqualityRule(Rule):
+    """``==``/``!=`` between float quantities (volts, SoC, energy) is a bug.
+
+    Voltages and energies are accumulated floats; exact comparison makes
+    behaviour depend on summation order, which event-queue refactors change.
+    Compare against thresholds or use ``math.isclose``.
+    """
+
+    id = "float-equality"
+    description = "==/!= between float expressions — compare with tolerance/thresholds"
+
+    #: Substrings anywhere in a name that mark it as a float quantity.
+    _FLOATY_NAME_HINTS = (
+        "volt", "soc", "energy", "power", "watt", "joule", "charge",
+        "current", "amp",
+    )
+    #: Suffixes (units) that mark a name as a float quantity.
+    _FLOATY_NAME_SUFFIXES = ("_w", "_v", "_j", "_wh", "_kwh")
+
+    def _is_floatish(self, node: ast.AST) -> bool:
+        if _is_float_literal(node):
+            return True
+        if isinstance(node, ast.BinOp):
+            return self._is_floatish(node.left) or self._is_floatish(node.right)
+        name = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name is not None:
+            lowered = name.lower()
+            return any(hint in lowered for hint in self._FLOATY_NAME_HINTS) or any(
+                lowered.endswith(sfx) for sfx in self._FLOATY_NAME_SUFFIXES
+            )
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if self._is_floatish(left) or self._is_floatish(right):
+                    yield self.finding(
+                        ctx, node,
+                        "exact ==/!= on a float quantity; use a threshold "
+                        "or math.isclose",
+                    )
+
+
+# ----------------------------------------------------------------------
+# Rule 4: mutable default arguments
+# ----------------------------------------------------------------------
+@register
+class MutableDefaultRule(Rule):
+    """Mutable default arguments leak state between calls.
+
+    In a simulator that is rebuilt per seed, a shared default list carries
+    draws/records from one run into the next — a classic determinism leak.
+    """
+
+    id = "mutable-default"
+    description = "mutable default argument (list/dict/set) — use None sentinel"
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "OrderedDict", "Counter"}
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            parts = dotted_parts(node.func)
+            return bool(parts) and parts[-1] in self._MUTABLE_CALLS
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        ctx, default,
+                        f"mutable default in {node.name}(); default to None and "
+                        "construct inside the function",
+                    )
+
+
+# ----------------------------------------------------------------------
+# Rule 5: bare / swallowed exceptions
+# ----------------------------------------------------------------------
+@register
+class SilentExceptRule(Rule):
+    """Errors must not pass silently — the kernel's core contract.
+
+    A swallowed exception in a process generator turns a crashed station
+    model into one that silently stops emitting trace records, which looks
+    exactly like the paper's dead-station failure mode but is a bug.
+    """
+
+    id = "silent-except"
+    description = "bare except / except-pass swallows errors — handle or re-raise"
+
+    _BROAD = {"Exception", "BaseException"}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx, node,
+                    "bare 'except:' catches SystemExit/KeyboardInterrupt and "
+                    "hides kernel errors; name the exception",
+                )
+                continue
+            parts = dotted_parts(node.type)
+            broad = bool(parts) and parts[-1] in self._BROAD
+            swallows = all(isinstance(stmt, ast.Pass) for stmt in node.body)
+            if broad and swallows:
+                yield self.finding(
+                    ctx, node,
+                    "'except Exception: pass' swallows every error; log to the "
+                    "Trace or re-raise",
+                )
+
+
+# ----------------------------------------------------------------------
+# Rule 6: yield discipline
+# ----------------------------------------------------------------------
+@register
+class YieldDisciplineRule(Rule):
+    """Process generators must yield events, not raw values.
+
+    ``yield 5`` inside a process raises at runtime ("processes must yield
+    Event objects") — but only when that branch executes, which for rare
+    recovery paths can be deep into a long mission.  Catch it statically.
+    """
+
+    id = "yield-discipline"
+    description = "yield of a literal/number in a generator — processes yield Events"
+
+    def _is_literal_yield(self, value: ast.AST) -> bool:
+        if isinstance(value, ast.Constant):
+            # Bare ``yield`` (value None) is the make-this-a-generator idiom;
+            # only concrete literals are certainly wrong.
+            return value.value is not None
+        if isinstance(value, ast.UnaryOp) and isinstance(value.operand, ast.Constant):
+            return True
+        if isinstance(value, (ast.List, ast.Tuple, ast.Dict, ast.Set)):
+            return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Yield):
+                continue
+            if node.value is not None and self._is_literal_yield(node.value):
+                yield self.finding(
+                    ctx, node,
+                    "yields a plain literal; process generators must yield "
+                    "Event objects (timeout(), event(), process())",
+                )

@@ -10,9 +10,11 @@ those are the package defaults.
 from __future__ import annotations
 
 import math
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.sim.rng import generator_from_seed
 
 #: Weibull shape fitted to the paper's two survival anchors.
 PAPER_SHAPE = 1.943
@@ -58,12 +60,19 @@ def monte_carlo_survival(
     seed: int = 0,
     shape: float = PAPER_SHAPE,
     scale_days: float = PAPER_SCALE_DAYS,
+    rng: Optional[np.random.Generator] = None,
 ) -> List[float]:
     """Mean survivor counts at each horizon over ``trials`` deployments.
 
     This is the E12 experiment: deploy ``n_probes`` repeatedly and count
     how many are alive at one year and eighteen months.
+
+    Pass ``rng`` (e.g. ``RngRegistry.stream("probe.survival")``) to draw
+    from a registered stream; otherwise ``seed`` derives one via
+    :func:`repro.sim.rng.generator_from_seed`, which for a given seed
+    reproduces the historical sequence exactly.
     """
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = generator_from_seed(seed)
     lifetimes = scale_days * rng.weibull(shape, size=(trials, n_probes))
     return [float((lifetimes > horizon).sum(axis=1).mean()) for horizon in horizons_days]

@@ -16,7 +16,7 @@ is driven by wall-clock and calendar structure.
 from repro.sim.events import Event, Interrupt, Timeout
 from repro.sim.kernel import Simulation, StopSimulation
 from repro.sim.process import Process, ProcessKilled
-from repro.sim.rng import RngRegistry
+from repro.sim.rng import RngRegistry, generator_from_seed
 from repro.sim.simtime import (
     DAY,
     HOUR,
@@ -39,6 +39,7 @@ __all__ = [
     "Process",
     "ProcessKilled",
     "RngRegistry",
+    "generator_from_seed",
     "SECONDS_PER_DAY",
     "SimClock",
     "Simulation",

@@ -14,6 +14,17 @@ from typing import Dict
 import numpy as np
 
 
+def generator_from_seed(seed: int) -> np.random.Generator:
+    """The one sanctioned way to build a standalone generator from a seed.
+
+    Library code that cannot reach a :class:`RngRegistry` (pure analysis
+    helpers, Monte-Carlo utilities) must route seed-to-generator conversion
+    through here rather than calling ``np.random.default_rng`` directly —
+    the ``rng-discipline`` lint rule enforces exactly that.
+    """
+    return np.random.default_rng(seed)
+
+
 class RngRegistry:
     """Deterministic registry of named :class:`numpy.random.Generator` streams."""
 

@@ -1,0 +1,118 @@
+"""Engine behaviour: suppression comments, select/disable, file walking,
+parse errors."""
+
+import textwrap
+
+import pytest
+
+from repro.lint.engine import lint_paths, lint_source, parse_suppressions
+from repro.lint.rules import default_rules
+
+VIOLATION = "import numpy as np\nrng = np.random.default_rng(1)\n"
+
+
+class TestSuppression:
+    def test_inline_disable_silences_rule(self):
+        source = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(1)  # repro-lint: disable=rng-discipline\n"
+        )
+        assert lint_source(source) == []
+
+    def test_disable_all(self):
+        source = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(1)  # repro-lint: disable=all\n"
+        )
+        assert lint_source(source) == []
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        source = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(1)  # repro-lint: disable=wall-clock\n"
+        )
+        assert [f.rule for f in lint_source(source)] == ["rng-discipline"]
+
+    def test_marker_inside_string_is_not_a_suppression(self):
+        source = (
+            'NOTE = "repro-lint: disable=rng-discipline"\n'
+            "import numpy as np\n"
+            "rng = np.random.default_rng(1)\n"
+        )
+        assert [f.rule for f in lint_source(source)] == ["rng-discipline"]
+
+    def test_parse_suppressions_maps_lines(self):
+        source = textwrap.dedent(
+            """
+            x = 1  # repro-lint: disable=wall-clock, rng-discipline
+            y = 2
+            z = 3  # repro-lint: disable=all
+            """
+        )
+        mapping = parse_suppressions(source)
+        assert mapping[2] == {"wall-clock", "rng-discipline"}
+        assert 3 not in mapping
+        assert mapping[4] == {"all"}
+
+
+class TestSelection:
+    def test_select_runs_only_named_rules(self):
+        source = (
+            "import numpy as np\n"
+            "def f(x=[]):\n"
+            "    return np.random.default_rng(1)\n"
+        )
+        only_mutable = lint_source(source, rules=default_rules(select=["mutable-default"]))
+        assert [f.rule for f in only_mutable] == ["mutable-default"]
+
+    def test_disable_removes_rule(self):
+        source = "def f(x=[]):\n    return x\n"
+        assert lint_source(source, rules=default_rules(disable=["mutable-default"])) == []
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(KeyError):
+            default_rules(select=["no-such-rule"])
+        with pytest.raises(KeyError):
+            default_rules(disable=["no-such-rule"])
+
+
+class TestFiles:
+    def test_walks_directories_and_sorts(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "b.py").write_text(VIOLATION)
+        (pkg / "a.py").write_text("x = 1\n")
+        findings = lint_paths([str(tmp_path)])
+        assert [f.rule for f in findings] == ["rng-discipline"]
+        assert findings[0].path.endswith("b.py")
+
+    def test_single_file_path(self, tmp_path):
+        target = tmp_path / "one.py"
+        target.write_text(VIOLATION)
+        assert len(lint_paths([str(target)])) == 1
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        target = tmp_path / "broken.py"
+        target.write_text("def f(:\n")
+        findings = lint_paths([str(target)])
+        assert [f.rule for f in findings] == ["parse-error"]
+
+    def test_findings_sorted_by_position(self, tmp_path):
+        target = tmp_path / "multi.py"
+        target.write_text(
+            "import numpy as np\n"
+            "def f(x=[]):\n"
+            "    return np.random.default_rng(1)\n"
+        )
+        findings = lint_paths([str(target)])
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
+
+
+class TestCurrentTree:
+    def test_src_repro_is_clean(self):
+        """The CI gate invariant: the shipped tree has zero findings."""
+        import repro
+
+        root = repro.__path__[0]
+        findings = lint_paths([root])
+        assert findings == [], "\n".join(f.render() for f in findings)

@@ -1,0 +1,267 @@
+"""Per-rule fixtures: each rule fires on a minimal violating snippet and
+stays quiet on the compliant rewrite."""
+
+import textwrap
+
+from repro.lint.engine import lint_source
+from repro.lint.findings import Severity
+from repro.lint.rules import RULE_REGISTRY, default_rules
+
+
+def findings_for(snippet, rule=None, path="src/repro/example.py"):
+    rules = default_rules(select=[rule] if rule else None)
+    return lint_source(textwrap.dedent(snippet), path=path, rules=rules)
+
+
+def rule_ids(findings):
+    return [f.rule for f in findings]
+
+
+class TestWallClock:
+    def test_fires_on_datetime_now(self):
+        found = findings_for(
+            """
+            import datetime
+            def stamp():
+                return datetime.datetime.now()
+            """,
+            rule="wall-clock",
+        )
+        assert rule_ids(found) == ["wall-clock"]
+        assert found[0].line == 4
+
+    def test_fires_on_time_time_and_today(self):
+        found = findings_for(
+            """
+            import time
+            from datetime import date
+            t = time.time()
+            d = date.today()
+            """,
+            rule="wall-clock",
+        )
+        assert rule_ids(found) == ["wall-clock", "wall-clock"]
+
+    def test_quiet_on_simclock(self):
+        found = findings_for(
+            """
+            def stamp(sim):
+                return sim.clock.utcnow()
+
+            def now(sim):
+                return sim.now
+            """,
+            rule="wall-clock",
+        )
+        assert found == []
+
+
+class TestRngDiscipline:
+    def test_fires_on_default_rng(self):
+        found = findings_for(
+            """
+            import numpy as np
+            rng = np.random.default_rng(42)
+            """,
+            rule="rng-discipline",
+        )
+        assert rule_ids(found) == ["rng-discipline"]
+
+    def test_fires_on_stdlib_random_and_np_seed(self):
+        found = findings_for(
+            """
+            import random
+            import numpy as np
+            x = random.random()
+            random.shuffle([1, 2])
+            np.random.seed(0)
+            """,
+            rule="rng-discipline",
+        )
+        assert rule_ids(found) == ["rng-discipline"] * 3
+
+    def test_quiet_on_registry_stream(self):
+        found = findings_for(
+            """
+            def draw(sim):
+                return sim.rng.stream("weather").normal()
+            """,
+            rule="rng-discipline",
+        )
+        assert found == []
+
+    def test_rng_module_itself_exempt(self):
+        found = findings_for(
+            """
+            import numpy as np
+            rng = np.random.default_rng(7)
+            """,
+            rule="rng-discipline",
+            path="src/repro/sim/rng.py",
+        )
+        assert found == []
+
+
+class TestFloatEquality:
+    def test_fires_on_voltage_compare(self):
+        found = findings_for(
+            """
+            def check(battery):
+                return battery.voltage == 12.5
+            """,
+            rule="float-equality",
+        )
+        assert rule_ids(found) == ["float-equality"]
+
+    def test_fires_on_float_literal_noteq(self):
+        found = findings_for("ok = value != 0.0\n", rule="float-equality")
+        assert rule_ids(found) == ["float-equality"]
+
+    def test_quiet_on_int_and_string_compares(self):
+        found = findings_for(
+            """
+            def route(args, count):
+                if args.what == "snapshot":
+                    return 1
+                return count == 0
+            """,
+            rule="float-equality",
+        )
+        assert found == []
+
+    def test_quiet_on_threshold_compare(self):
+        found = findings_for("low = battery.voltage < 11.5\n", rule="float-equality")
+        assert found == []
+
+
+class TestMutableDefault:
+    def test_fires_on_list_default(self):
+        found = findings_for(
+            """
+            def collect(readings=[]):
+                return readings
+            """,
+            rule="mutable-default",
+        )
+        assert rule_ids(found) == ["mutable-default"]
+
+    def test_fires_on_dict_call_and_kwonly(self):
+        found = findings_for(
+            """
+            def a(x=dict()):
+                return x
+
+            def b(*, y={}):
+                return y
+            """,
+            rule="mutable-default",
+        )
+        assert rule_ids(found) == ["mutable-default"] * 2
+
+    def test_quiet_on_none_sentinel(self):
+        found = findings_for(
+            """
+            def collect(readings=None, label="x", n=3):
+                if readings is None:
+                    readings = []
+                return readings
+            """,
+            rule="mutable-default",
+        )
+        assert found == []
+
+
+class TestSilentExcept:
+    def test_fires_on_bare_except(self):
+        found = findings_for(
+            """
+            def run(proc):
+                try:
+                    proc.step()
+                except:
+                    pass
+            """,
+            rule="silent-except",
+        )
+        assert rule_ids(found) == ["silent-except"]
+
+    def test_fires_on_exception_pass(self):
+        found = findings_for(
+            """
+            def run(proc):
+                try:
+                    proc.step()
+                except Exception:
+                    pass
+            """,
+            rule="silent-except",
+        )
+        assert rule_ids(found) == ["silent-except"]
+
+    def test_quiet_on_narrow_handler(self):
+        found = findings_for(
+            """
+            def run(proc, trace):
+                try:
+                    proc.step()
+                except ValueError as exc:
+                    trace.emit("kernel", "error", message=str(exc))
+                except Exception as exc:
+                    trace.emit("kernel", "error", message=str(exc))
+                    raise
+            """,
+            rule="silent-except",
+        )
+        assert found == []
+
+
+class TestYieldDiscipline:
+    def test_fires_on_literal_yield(self):
+        found = findings_for(
+            """
+            def worker(sim):
+                yield 5
+            """,
+            rule="yield-discipline",
+        )
+        assert rule_ids(found) == ["yield-discipline"]
+
+    def test_fires_on_tuple_yield(self):
+        found = findings_for(
+            """
+            def worker(sim):
+                yield (1, 2)
+            """,
+            rule="yield-discipline",
+        )
+        assert rule_ids(found) == ["yield-discipline"]
+
+    def test_quiet_on_event_yields(self):
+        found = findings_for(
+            """
+            def worker(sim):
+                yield sim.timeout(10.0)
+                value = yield from sim.process(child(sim))
+                yield sim.event("done")
+                return value
+
+            def marker():
+                yield  # bare yield: the make-this-a-generator idiom
+            """,
+            rule="yield-discipline",
+        )
+        assert found == []
+
+
+class TestRegistry:
+    def test_all_six_rules_registered(self):
+        expected = {
+            "wall-clock", "rng-discipline", "float-equality",
+            "mutable-default", "silent-except", "yield-discipline",
+        }
+        assert expected <= set(RULE_REGISTRY)
+
+    def test_every_rule_has_description_and_severity(self):
+        for rule_cls in RULE_REGISTRY.values():
+            assert rule_cls.id and rule_cls.description
+            assert isinstance(rule_cls.severity, Severity)

@@ -66,3 +66,23 @@ class TestMonteCarlo:
 
     def test_anchors_recorded(self):
         assert PAPER_ANCHORS == ((365.0, 4.0 / 7.0), (548.0, 2.0 / 7.0))
+
+    def test_explicit_generator_matches_seed_path(self):
+        """Passing a registry-style Generator reproduces the seed path exactly."""
+        from repro.sim.rng import generator_from_seed
+
+        via_seed = monte_carlo_survival(7, [365.0, 548.0], trials=200, seed=11)
+        via_rng = monte_carlo_survival(
+            7, [365.0, 548.0], trials=200, rng=generator_from_seed(11)
+        )
+        assert via_seed == via_rng
+
+    def test_registry_stream_accepted(self):
+        from repro.sim.rng import RngRegistry
+
+        registry = RngRegistry(master_seed=5)
+        a = monte_carlo_survival(7, [365.0], trials=100,
+                                 rng=RngRegistry(master_seed=5).stream("survival"))
+        b = monte_carlo_survival(7, [365.0], trials=100,
+                                 rng=registry.stream("survival"))
+        assert a == b

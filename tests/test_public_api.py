@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.server",
     "repro.core",
     "repro.analysis",
+    "repro.lint",
 ]
 
 
