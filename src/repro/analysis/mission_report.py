@@ -126,6 +126,48 @@ def _science_section(deployment) -> str:
     return "Science\n" + "\n".join(f"  {line}" for line in lines)
 
 
+def _observability_section(deployment) -> str:
+    obs = deployment.sim.obs
+    obs.collect_kernel(deployment.sim)
+    lines: List[str] = []
+
+    counters = [
+        m for m in obs.metrics.metrics()
+        if obs.metrics.kind_of(m.name) == "counter" and m.value > 0
+    ]
+    top = sorted(counters, key=lambda m: (-m.value, m.sort_key()))[:6]
+    if top:
+        lines.append("Top counters:")
+        for metric in top:
+            labels = ",".join(f"{k}={v}" for k, v in metric.labels)
+            suffix = f"{{{labels}}}" if labels else ""
+            lines.append(f"  {metric.name}{suffix} = {metric.value:g}")
+
+    histograms = [
+        m for m in obs.metrics.metrics()
+        if obs.metrics.kind_of(m.name) == "histogram" and m.count > 0
+    ]
+    if histograms:
+        lines.append("Histograms:")
+        for metric in histograms:
+            labels = ",".join(f"{k}={v}" for k, v in metric.labels)
+            suffix = f"{{{labels}}}" if labels else ""
+            lines.append(
+                f"  {metric.name}{suffix}: n={metric.count} mean={metric.mean():g}"
+            )
+
+    totals = obs.spans.totals_by_name()
+    if totals:
+        lines.append("Span totals (sim-time):")
+        busiest = sorted(totals.items(), key=lambda kv: (-kv[1][1], kv[0]))[:6]
+        for name, (count, seconds) in busiest:
+            lines.append(f"  {name}: {count}x, {seconds / 3600.0:.2f} h")
+
+    if not lines:
+        lines = ["no metrics recorded"]
+    return "Observability\n" + "\n".join(f"  {line}" for line in lines)
+
+
 def _incidents_section(deployment) -> str:
     trace = deployment.sim.trace
     incidents: List[str] = []
@@ -163,6 +205,7 @@ def mission_report(deployment) -> str:
         _comms_section(deployment),
         _probe_section(deployment),
         _science_section(deployment),
+        _observability_section(deployment),
         _incidents_section(deployment),
     ]
     return "\n\n".join(sections)

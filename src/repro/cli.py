@@ -6,6 +6,8 @@ Usage::
     repro-sim simulate --days 30 --override 2 --no-wind
     repro-sim science --days 14 --seed 3
     repro-sim health --days 10
+    repro-sim metrics --days 7 --seed 0
+    repro-sim simulate --days 2 --metrics-out metrics.prom --spans-out spans.json
     repro-sim lint src/repro --check-determinism
 
 (Equivalently ``python -m repro.cli ...``.  ``repro-sim lint`` forwards to
@@ -42,6 +44,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the base station's solar rating")
         p.add_argument("--override", type=int, default=None, choices=(0, 1, 2, 3),
                        help="server-side manual power-state override")
+        p.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="write metrics after the run (.json = JSON dump, "
+                            "anything else = Prometheus text)")
+        p.add_argument("--spans-out", metavar="FILE", default=None,
+                       help="write spans after the run (.ndjson = NDJSON, "
+                            "anything else = Chrome trace JSON); also enables "
+                            "per-event kernel spans")
+        p.add_argument("--self-profile", action="store_true",
+                       help="measure wall-clock time per process and print a "
+                            "hotspot report to stderr (host-dependent; never "
+                            "part of any exported artefact)")
 
     simulate = sub.add_parser("simulate", help="run a deployment and summarise")
     common(simulate)
@@ -54,6 +67,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("report", help="run, then print the full mission report")
     common(report)
+
+    metrics = sub.add_parser(
+        "metrics", help="run, then print the Prometheus metrics dump")
+    common(metrics)
 
     export = sub.add_parser("export", help="run, then print archive data as CSV/JSON")
     common(export)
@@ -81,12 +98,51 @@ def _build_deployment(args) -> Deployment:
     deployment = Deployment(DeploymentConfig(seed=args.seed, base=base))
     if args.override is not None:
         deployment.set_manual_override(args.override)
+    if getattr(args, "spans_out", None):
+        deployment.sim.obs.enable_kernel_spans()
+    if getattr(args, "self_profile", False):
+        deployment.sim.obs.enable_self_profile()
     return deployment
+
+
+def _write_observability(deployment: Deployment, args) -> None:
+    """Honour ``--metrics-out`` / ``--spans-out`` / ``--self-profile``.
+
+    File format follows the extension: ``.json`` selects the JSON metric
+    dump / Chrome trace JSON, ``.ndjson`` selects span NDJSON, anything
+    else gets Prometheus text (metrics) or Chrome trace JSON (spans).
+    """
+    from repro.obs.export import (
+        metrics_to_json,
+        metrics_to_prometheus,
+        spans_to_chrome_trace,
+        spans_to_ndjson,
+    )
+
+    obs = deployment.sim.obs
+    obs.collect_kernel(deployment.sim)
+    if getattr(args, "metrics_out", None):
+        if args.metrics_out.endswith(".json"):
+            text = metrics_to_json(obs.metrics)
+        else:
+            text = metrics_to_prometheus(obs.metrics)
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    if getattr(args, "spans_out", None):
+        if args.spans_out.endswith(".ndjson"):
+            text = spans_to_ndjson(obs.spans)
+        else:
+            text = spans_to_chrome_trace(obs.spans)
+        with open(args.spans_out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    if getattr(args, "self_profile", False) and obs.profile is not None:
+        print(obs.profile.report(), file=sys.stderr)
 
 
 def _cmd_simulate(args) -> int:
     deployment = _build_deployment(args)
     deployment.run_days(args.days)
+    _write_observability(deployment, args)
     rows = []
     for station in deployment.stations:
         rows.append(
@@ -112,6 +168,7 @@ def _cmd_simulate(args) -> int:
 def _cmd_science(args) -> int:
     deployment = _build_deployment(args)
     deployment.run_days(args.days)
+    _write_observability(deployment, args)
     archive = ScienceArchive(deployment.server)
     velocities = archive.daily_velocity()
     print(format_table(
@@ -137,6 +194,7 @@ def _cmd_science(args) -> int:
 def _cmd_health(args) -> int:
     deployment = _build_deployment(args)
     deployment.run_days(args.days)
+    _write_observability(deployment, args)
     archive = ScienceArchive(deployment.server)
     rows = []
     for station in ("base", "reference"):
@@ -164,7 +222,18 @@ def _cmd_report(args) -> int:
 
     deployment = _build_deployment(args)
     deployment.run_days(args.days)
+    _write_observability(deployment, args)
     print(mission_report(deployment))
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro.obs.export import metrics_to_prometheus
+
+    deployment = _build_deployment(args)
+    deployment.run_days(args.days)
+    _write_observability(deployment, args)
+    print(metrics_to_prometheus(deployment.sim.obs.metrics), end="")
     return 0
 
 
@@ -177,6 +246,7 @@ def _cmd_export(args) -> int:
 
     deployment = _build_deployment(args)
     deployment.run_days(args.days)
+    _write_observability(deployment, args)
     archive = ScienceArchive(deployment.server)
     if args.what == "snapshot":
         print(archive_snapshot_json(archive))
@@ -211,6 +281,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "science": _cmd_science,
         "health": _cmd_health,
         "report": _cmd_report,
+        "metrics": _cmd_metrics,
         "export": _cmd_export,
     }
     return handlers[args.command](args)

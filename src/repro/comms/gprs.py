@@ -76,3 +76,8 @@ class GprsModem(Modem):
         """Chunked send with per-MB billing on delivered bytes."""
         yield from super().send(nbytes, label=label)
         self.cost_total += nbytes / 1_000_000.0 * self.cost_per_mb
+        station = self.name.split(".")[0]
+        metrics = self.sim.obs.metrics
+        metrics.inc("gprs_upload_bytes_total", nbytes, station=station)
+        metrics.inc("gprs_cost_total",
+                    nbytes / 1_000_000.0 * self.cost_per_mb, station=station)

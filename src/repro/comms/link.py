@@ -85,9 +85,12 @@ class Modem:
         yield self.sim.timeout(self.connect_s)
         if not self.available(self.sim.now):
             self.connect_failures += 1
+            self.sim.obs.metrics.inc("modem_connects_total",
+                                     modem=self.name, result="failed")
             self.sim.trace.emit(self.name, "connect_failed")
             raise LinkDown(f"{self.name}: network unavailable")
         self.connected = True
+        self.sim.obs.metrics.inc("modem_connects_total", modem=self.name, result="ok")
         self.sim.trace.emit(self.name, "connected")
 
     def disconnect(self) -> None:
@@ -122,7 +125,9 @@ class Modem:
             if hazard > 0 and rng.random() < 1.0 - (1.0 - hazard) ** step:
                 self.connected = False
                 self.drops += 1
+                self.sim.obs.metrics.inc("modem_drops_total", modem=self.name)
                 self.sim.trace.emit(self.name, "link_drop", label=label)
                 raise LinkDown(f"{self.name}: dropped during {label or 'transfer'}")
         self.bytes_sent_total += nbytes
+        self.sim.obs.metrics.inc("modem_sent_bytes_total", nbytes, modem=self.name)
         self.sim.trace.emit(self.name, "sent", nbytes=nbytes, label=label)

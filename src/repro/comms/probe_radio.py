@@ -98,12 +98,16 @@ class ProbeRadioLink:
         """Process: send one packet; returns a :class:`PacketOutcome`."""
         yield self.sim.timeout(self.packet_time_s(payload_bytes))
         self.packets_sent += 1
+        metrics = self.sim.obs.metrics
         if self._rng.random() < self.current_loss():
             self.packets_lost += 1
+            metrics.inc("probe_frames_total", result="lost")
             return PacketOutcome.LOST
         if self._rng.random() < self.corruption_probability:
             self.packets_broken += 1
+            metrics.inc("probe_frames_total", result="crc_fail")
             return PacketOutcome.BROKEN
+        metrics.inc("probe_frames_total", result="delivered")
         return PacketOutcome.DELIVERED
 
     @property

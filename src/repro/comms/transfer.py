@@ -92,6 +92,8 @@ def upload_files(
     Returns a :class:`TransferResult`.
     """
     result = TransferResult()
+    station = modem.name.split(".")[0]
+    metrics = sim.obs.metrics
     try:
         for stored in files:
             if window_s is not None and is_oversized(stored.size_bytes, modem, window_s):
@@ -106,6 +108,12 @@ def upload_files(
                     yield sim.process(modem.send(stored.size_bytes, label=stored.name))
                     result.sent.append(stored.name)
                     result.bytes_sent += stored.size_bytes
+                    metrics.inc("upload_files_total", station=station)
+                    metrics.observe(
+                        "upload_file_bytes", stored.size_bytes,
+                        buckets=(1e3, 1e4, 1e5, 2.5e5, 1e6, 1e7),
+                        station=station,
+                    )
                     if on_file_sent is not None:
                         on_file_sent(stored)
                     break

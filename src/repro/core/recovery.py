@@ -95,10 +95,14 @@ class ScheduleRecovery:
             fix = yield from self._ntp_time()
         if fix is None:
             self.failed_attempts += 1
+            self.sim.obs.metrics.inc("clock_recoveries_total",
+                                     station=self.station_name, result="failed")
             self.sim.trace.emit(self.station_name, "clock_recovery_failed")
             return False
         self.i2c.set_rtc(fix)
         self.recoveries += 1
+        self.sim.obs.metrics.inc("clock_recoveries_total",
+                                 station=self.station_name, result="ok")
         self.sim.trace.emit(self.station_name, "clock_recovered", time=fix.isoformat())
         return True
 

@@ -179,6 +179,11 @@ class Station:
     # ------------------------------------------------------------------
     def apply_state(self, state: PowerState) -> None:
         """Rewrite the MSP430 schedule for ``state`` (wake + dGPS slots)."""
+        if state != self.effective_state:
+            self.sim.obs.metrics.inc("power_state_transitions_total",
+                                     station=self.name, state=int(state))
+        self.sim.obs.metrics.set_gauge("power_effective_state", float(int(state)),
+                                       station=self.name)
         self.effective_state = state
         entries = [ScheduleEntry(self.config.wake_hour, "wake_gumstix")]
         entries.extend(
@@ -227,7 +232,17 @@ class Station:
     # The daily run (Fig 4)
     # ------------------------------------------------------------------
     def daily_run(self):
-        """Process body for one Gumstix power cycle."""
+        """Process body for one Gumstix power cycle.
+
+        The whole cycle is one top-level observability span on the
+        station's track, so a dGPS-read -> upload day renders as a single
+        tree in the Chrome trace (probe jobs, GPS collection and the
+        comms session are its children).
+        """
+        with self.sim.obs.span("daily_run", track=self.name):
+            yield from self._daily_run_body()
+
+    def _daily_run_body(self):
         self.sim.trace.emit(self.name, "run_start")
 
         # --- Section IV: automatic schedule resetting ---
@@ -263,6 +278,7 @@ class Station:
             self.apply_state(PowerState.S0)
             self.recovery.record_successful_run()
             self.daily_runs += 1
+            self.sim.obs.metrics.inc("daily_runs_total", station=self.name)
             return
 
         # --- GPS files (states 2 and 3) ---
@@ -279,6 +295,7 @@ class Station:
         self.apply_state(effective)
         self.recovery.record_successful_run()
         self.daily_runs += 1
+        self.sim.obs.metrics.inc("daily_runs_total", station=self.name)
 
     # ------------------------------------------------------------------
     # Fig 4 steps
@@ -313,23 +330,32 @@ class Station:
         An RS-232 fault aborts the rest of the day's fetches (the cable is
         flaky; unfetched files stay on the receiver for tomorrow).
         """
-        for stored in self.gps.pending_files():
-            try:
-                fetched = yield self.sim.process(self.gps.fetch_file(stored.name))
-            except IOError:
-                self.sim.trace.emit(self.name, "gps_fetch_aborted")
-                return
-            self._stage_file("gps", fetched.size_bytes, payload=fetched.payload)
+        with self.sim.obs.span("gps_collect", track=self.name):
+            for stored in self.gps.pending_files():
+                try:
+                    fetched = yield self.sim.process(self.gps.fetch_file(stored.name))
+                except IOError:
+                    self.sim.trace.emit(self.name, "gps_fetch_aborted")
+                    return
+                self._stage_file("gps", fetched.size_bytes, payload=fetched.payload)
 
     def _comms_session(self, local_state: PowerState):
         """Connect, upload state + data, fetch override and special."""
+        with self.sim.obs.span("comms_session", track=self.name):
+            effective = yield from self._comms_session_body(local_state)
+        return effective
+
+    def _comms_session_body(self, local_state: PowerState):
+        inc = self.sim.obs.metrics.inc
         try:
             yield self.sim.process(self.modem.connect())
         except LinkDown:
             self.modem.disconnect()
+            inc("comms_sessions_total", station=self.name, result="connect_failed")
             self.sim.trace.emit(self.name, "comms_failed")
             return local_state
 
+        outcome = "ok"
         effective = local_state
         try:
             # Upload power state (before data, per Fig 4).
@@ -359,6 +385,7 @@ class Station:
                              on_file_sent=ingest)
             )
             if result.link_lost:
+                outcome = "link_lost"
                 return effective
 
             # Override state (after data, per Fig 4's split placement).
@@ -372,8 +399,10 @@ class Station:
             if self.config.auto_update:
                 yield from self._auto_update_step()
         except LinkDown:
+            outcome = "dropped"
             self.sim.trace.emit(self.name, "comms_dropped")
         finally:
+            inc("comms_sessions_total", station=self.name, result=outcome)
             self.modem.disconnect()
         return effective
 
@@ -452,6 +481,10 @@ class BaseStation(Station):
 
     def _probe_jobs(self):
         """Fetch buffered data from every live probe (all power states)."""
+        with self.sim.obs.span("probe_jobs", track=self.name):
+            yield from self._probe_jobs_body()
+
+    def _probe_jobs_body(self):
         self._todays_analysis = []
         self._todays_probe_ids = []
         if not self.wired_probe.is_alive:
@@ -464,9 +497,11 @@ class BaseStation(Station):
         budget_each = 0.4 * self.config.max_runtime_s / len(alive)
         for probe in alive:
             link = self.probe_links[probe.probe_id]
-            result = yield self.sim.process(
-                self.fetcher.fetch(probe, link, budget_s=budget_each)
-            )
+            with self.sim.obs.span("probe_fetch", track=self.name,
+                                   probe_id=probe.probe_id):
+                result = yield self.sim.process(
+                    self.fetcher.fetch(probe, link, budget_s=budget_each)
+                )
             if result.received_new or result.complete:
                 self._todays_probe_ids.append(probe.probe_id)
                 # Keep the probe's clock anchored while we can talk to it

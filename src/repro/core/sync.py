@@ -67,8 +67,12 @@ class StateSynchronizer:
             override = self.server.get_override_state(self.station_name)
         except LinkDown:
             self.override_fetch_failures += 1
+            self.sim.obs.metrics.inc("sync_override_fetches_total",
+                                     station=self.station_name, result="failed")
             self.sim.trace.emit(self.station_name, "override_fetch_failed")
             return local_state, None
+        self.sim.obs.metrics.inc("sync_override_fetches_total",
+                                 station=self.station_name, result="ok")
         effective = clamp_override(local_state, override)
         self.sim.trace.emit(
             self.station_name,

@@ -51,6 +51,8 @@ class PowerBus:
         self.sim = sim
         self.battery = battery
         self.name = name
+        #: Station label for metrics (``"base.power"`` -> ``"base"``).
+        self._station = name.split(".")[0]
         self.step_s = step_s
         self.loads = LoadSet()
         self.sources: List[PowerSource] = []
@@ -113,18 +115,33 @@ class PowerBus:
                 load.energy_j += load.current_power() * dt
         for source in self.sources:
             source.energy_j += source.power_w(now) * dt
+        metrics = self.sim.obs.metrics
+        metrics.set_gauge("battery_soc", self.battery.soc, station=self._station)
+        metrics.set_gauge(
+            "battery_voltage_v",
+            self.battery.terminal_voltage(source_w - load_w),
+            station=self._station,
+        )
+        metrics.observe(
+            "battery_net_power_w", source_w - load_w,
+            buckets=(-50.0, -20.0, -10.0, -5.0, -2.0, -1.0, 0.0,
+                     1.0, 2.0, 5.0, 10.0, 20.0, 50.0),
+            station=self._station,
+        )
         self._check_edges()
 
     def _check_edges(self) -> None:
         exhausted = self.battery.is_exhausted
         if exhausted and not self._was_exhausted:
             self._was_exhausted = True
+            self.sim.obs.metrics.inc("power_brownouts_total", station=self._station)
             self.sim.trace.emit(self.name, "brownout", soc=self.battery.soc)
             self.loads.all_off()
             for callback in list(self.on_brownout):
                 callback()
         elif self._was_exhausted and self.battery.can_restart:
             self._was_exhausted = False
+            self.sim.obs.metrics.inc("power_recoveries_total", station=self._station)
             self.sim.trace.emit(self.name, "recovery", soc=self.battery.soc)
             for callback in list(self.on_recovery):
                 callback()

@@ -375,3 +375,39 @@ class YieldDisciplineRule(Rule):
                     "yields a plain literal; process generators must yield "
                     "Event objects (timeout(), event(), process())",
                 )
+
+
+# ----------------------------------------------------------------------
+# Rule 7: no print in library code
+# ----------------------------------------------------------------------
+@register
+class NoPrintRule(Rule):
+    """Library code must report through the Trace or metrics, not stdout.
+
+    A stray ``print()`` in a subsystem bypasses the observability layer:
+    it cannot be selected, counted, exported, or digest-checked, and it
+    corrupts machine-readable CLI output (CSV/JSON/Prometheus dumps).
+    CLI entry points and the analysis/report formatters are the only
+    places whose *job* is writing to stdout.
+    """
+
+    id = "no-print"
+    description = "print() in library code — emit to Trace/metrics, not stdout"
+    exempt_path_suffixes = ("/cli.py",)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Also skip the analysis/ package — its output *is* text."""
+        if "/analysis/" in ctx.posix_path:
+            return False
+        return super().applies_to(ctx)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id == "print":
+                yield self.finding(
+                    ctx, node,
+                    "print() in library code; emit a Trace record or metric "
+                    "(or move the output into a CLI/analysis module)",
+                )

@@ -1,0 +1,51 @@
+"""Simulation-wide observability: metrics, spans, and telemetry export.
+
+The paper's operational story is told through logfiles; :mod:`repro.sim.trace`
+reproduces those.  This package reproduces the *engineering view* the
+Glacsweb team never had in the field: per-subsystem counters and gauges
+(:mod:`repro.obs.metrics`), sim-time span trees (:mod:`repro.obs.spans`),
+optional wall-clock self-profiling (:mod:`repro.obs.profile`), and stable
+Prometheus / JSON / Chrome-trace / NDJSON exporters
+(:mod:`repro.obs.export`).
+
+Entry points: every :class:`~repro.sim.kernel.Simulation` owns an
+:class:`Observability` as ``sim.obs``; the ``repro-sim metrics`` subcommand
+and the ``--metrics-out`` / ``--spans-out`` flags dump a mission's
+telemetry.  Conventions and determinism rules: ``docs/observability.md``.
+"""
+
+from repro.obs.export import (
+    metrics_to_json,
+    metrics_to_prometheus,
+    spans_to_chrome_trace,
+    spans_to_ndjson,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+)
+from repro.obs.observability import Observability, owner_process_name
+from repro.obs.profile import WallClockProfile
+from repro.obs.spans import SpanRecord, SpanRecorder
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "Observability",
+    "SpanRecord",
+    "SpanRecorder",
+    "WallClockProfile",
+    "metrics_to_json",
+    "metrics_to_prometheus",
+    "owner_process_name",
+    "spans_to_chrome_trace",
+    "spans_to_ndjson",
+]

@@ -1,0 +1,137 @@
+"""Exporters: Prometheus text, JSON, Chrome trace-event JSON, NDJSON.
+
+Every format renders from deterministically-ordered inputs (metrics sorted
+by name + labels, spans in close order) with repr-stable numbers, so two
+same-seed missions write byte-identical files — the property the golden
+tests and the CI smoke step assert.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Sequence
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, format_value
+from repro.obs.spans import SpanRecord, SpanRecorder
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels, extra=None) -> str:
+    items = list(labels)
+    if extra:
+        items = sorted(items + list(extra))
+    if not items:
+        return ""
+    body = ",".join(f'{key}="{_escape_label(str(value))}"' for key, value in items)
+    return "{" + body + "}"
+
+
+def metrics_to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for name, members in registry.families().items():
+        lines.append(f"# TYPE {name} {members[0].kind}")
+        for metric in members:
+            if isinstance(metric, Histogram):
+                for le, cumulative in metric.cumulative():
+                    labels = _render_labels(metric.labels, extra=[("le", le)])
+                    lines.append(f"{name}_bucket{labels} {cumulative}")
+                labels = _render_labels(metric.labels)
+                lines.append(f"{name}_sum{labels} {format_value(metric.sum)}")
+                lines.append(f"{name}_count{labels} {metric.count}")
+            else:
+                assert isinstance(metric, (Counter, Gauge))
+                labels = _render_labels(metric.labels)
+                lines.append(f"{name}{labels} {format_value(metric.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def _metric_to_dict(metric) -> dict:
+    entry = {
+        "name": metric.name,
+        "kind": metric.kind,
+        "labels": metric.label_dict(),
+    }
+    if isinstance(metric, Histogram):
+        entry["buckets"] = [
+            {"le": le, "count": cumulative} for le, cumulative in metric.cumulative()
+        ]
+        entry["sum"] = metric.sum
+        entry["count"] = metric.count
+    else:
+        entry["value"] = metric.value
+    return entry
+
+
+def metrics_to_json(registry: MetricsRegistry) -> str:
+    """Render the registry as a stable, indented JSON document."""
+    payload = {
+        "version": 1,
+        "metrics": [_metric_to_dict(metric) for metric in registry.metrics()],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _span_records(spans) -> Sequence[SpanRecord]:
+    if isinstance(spans, SpanRecorder):
+        return spans.records
+    return list(spans)
+
+
+def spans_to_chrome_trace(spans) -> str:
+    """Render spans as Chrome trace-event JSON (loads in chrome://tracing).
+
+    Tracks map to thread ids (sorted alphabetically for stability); spans
+    become ``ph: "X"`` complete events with microsecond sim-time stamps.
+    """
+    records = _span_records(spans)
+    tracks = sorted({record.track for record in records})
+    tids = {track: index + 1 for index, track in enumerate(tracks)}
+    events: List[dict] = [
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": tids[track],
+            "name": "thread_name",
+            "args": {"name": track},
+        }
+        for track in tracks
+    ]
+    for record in records:
+        events.append(
+            {
+                "ph": "X",
+                "pid": 1,
+                "tid": tids[record.track],
+                "name": record.name,
+                "cat": "sim",
+                "ts": round(record.start * 1e6, 3),
+                "dur": round(record.duration * 1e6, 3),
+                "args": dict(record.attrs),
+            }
+        )
+    document = {"displayTimeUnit": "ms", "traceEvents": events}
+    return json.dumps(document, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def spans_to_ndjson(spans) -> str:
+    """Render spans as newline-delimited JSON records (one span per line)."""
+    lines = [
+        json.dumps(
+            {
+                "name": record.name,
+                "track": record.track,
+                "start": record.start,
+                "end": record.end,
+                "depth": record.depth,
+                "attrs": dict(record.attrs),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        for record in _span_records(spans)
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")

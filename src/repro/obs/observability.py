@@ -1,0 +1,151 @@
+"""The per-simulation observability hub: metrics + spans + profiling.
+
+One :class:`Observability` instance hangs off every
+:class:`~repro.sim.kernel.Simulation` (as ``sim.obs``), the way ``Trace``
+does.  Subsystems reach it through the kernel — ``sim.obs.metrics.inc(...)``,
+``with sim.obs.span(...)`` — so nothing above the kernel imports this
+package directly and the layering rule (architecture.md §7) holds.
+
+Three capability tiers, cheapest first:
+
+1. **metrics + explicit spans** — always on.  Counters/gauges fed by the
+   instrumented subsystems, plus a trace bridge counting every
+   :class:`~repro.sim.trace.TraceRecord` by source and kind.
+2. **kernel spans** (``enable_kernel_spans`` / ``--spans-out``) — one
+   instant span per processed event with the owning process name and the
+   queue depth; the raw material for Chrome traces.
+3. **self-profiling** (``enable_self_profile`` / ``--self-profile``) — the
+   only wall-clock user in the system; excluded from every export (see
+   :mod:`repro.obs.profile`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import WallClockProfile
+from repro.obs.spans import SpanRecorder, _OpenSpan
+
+if TYPE_CHECKING:  # pragma: no cover - break the sim <-> obs import cycle
+    from repro.sim.simtime import SimClock
+
+
+def owner_process_name(event) -> str:
+    """Name of the process an event will resume, or "" if unowned.
+
+    A process waits on an event by appending its bound ``_resume`` method
+    to the event's callbacks; the callback's ``__self__`` is the process.
+    Must be called *before* the event's callbacks run (they are consumed).
+    """
+    for callback in event.callbacks or ():
+        owner = getattr(callback, "__self__", None)
+        if owner is not None and hasattr(owner, "_generator"):
+            name = getattr(owner, "name", "")
+            if name:
+                return name
+    return ""
+
+
+class Observability:
+    """Metrics registry + span recorder + optional wall-clock profile."""
+
+    def __init__(
+        self,
+        clock: "Optional[SimClock]" = None,
+        kernel_spans: bool = False,
+        self_profile: bool = False,
+        trace_bridge: bool = True,
+    ) -> None:
+        self.clock = clock
+        self.metrics = MetricsRegistry()
+        self.spans = SpanRecorder(clock)
+        self.kernel_spans = kernel_spans
+        self.profile: Optional[WallClockProfile] = (
+            WallClockProfile() if self_profile else None
+        )
+        #: Fast-path flag the kernel checks once per step; True only when
+        #: per-event work (spans or profiling) is actually wanted.
+        self.kernel_active = bool(kernel_spans or self_profile)
+        self._trace_bridge = trace_bridge
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def enable_kernel_spans(self) -> None:
+        """Record an instant span for every kernel event from now on."""
+        self.kernel_spans = True
+        self.kernel_active = True
+
+    def enable_self_profile(self) -> None:
+        """Time every event's callbacks on the host clock from now on."""
+        if self.profile is None:
+            self.profile = WallClockProfile()
+        self.kernel_active = True
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    def span(self, name: str, track: str = "sim", **attrs: object) -> _OpenSpan:
+        """Open an explicit span (see :meth:`SpanRecorder.span`)."""
+        return self.spans.span(name, track=track, **attrs)
+
+    # ------------------------------------------------------------------
+    # Trace bridge
+    # ------------------------------------------------------------------
+    def attach_trace(self, trace) -> None:
+        """Subscribe the metrics layer to a :class:`Trace`.
+
+        Every trace record increments ``trace_records_total{source,kind}``
+        — the cheap, zero-config coverage layer underneath the explicit
+        subsystem metrics.
+        """
+        if self._trace_bridge:
+            trace.subscribe(self._on_trace_record)
+
+    def _on_trace_record(self, record) -> None:
+        self.metrics.inc("trace_records_total",
+                         source=record.source, kind=record.kind)
+
+    # ------------------------------------------------------------------
+    # Kernel hook
+    # ------------------------------------------------------------------
+    def kernel_step(self, event, when: float, queue_depth: int,
+                    run_callbacks: Callable[[], None]) -> None:
+        """Instrument one kernel step (called only while ``kernel_active``).
+
+        The span is recorded with the pre-callback state (owner, queue
+        depth); callbacks run in zero simulated time, so kernel event
+        spans are instants.
+        """
+        owner = owner_process_name(event)
+        if self.kernel_spans:
+            self.metrics.inc("kernel_events_total", type=type(event).__name__)
+            self.spans.instant(
+                event.name or type(event).__name__,
+                track=owner or "kernel",
+                when=when,
+                queue_depth=queue_depth,
+            )
+        if self.profile is not None:
+            start = time.perf_counter()  # repro-lint: disable=wall-clock
+            run_callbacks()
+            elapsed = time.perf_counter() - start  # repro-lint: disable=wall-clock
+            self.profile.tick(owner or type(event).__name__, elapsed)
+        else:
+            run_callbacks()
+
+    # ------------------------------------------------------------------
+    # Export-time collection
+    # ------------------------------------------------------------------
+    def collect_kernel(self, sim) -> None:
+        """Snapshot kernel health gauges from ``sim`` into the registry.
+
+        Called just before an export so the dump always carries the kernel
+        family even when per-event instrumentation is off.
+        """
+        self.metrics.set_gauge("kernel_events_processed", float(sim.events_processed))
+        self.metrics.set_gauge("kernel_events_scheduled", float(sim._sequence))
+        self.metrics.set_gauge("kernel_queue_depth", float(len(sim._queue)))
+        self.metrics.set_gauge("kernel_sim_time_seconds", sim.now)

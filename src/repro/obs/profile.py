@@ -1,0 +1,59 @@
+"""Optional wall-clock self-profiling of the kernel hot path.
+
+Everything else in :mod:`repro.obs` runs on simulated time so that
+same-seed replays are byte-identical.  This module is the one deliberate
+exception: when enabled (``--self-profile`` / ``Observability(
+self_profile=True)``) the kernel times each event's callbacks on the host
+clock and aggregates events/sec and the hottest process names.
+
+The results are *never* part of metric or span exports, never enter trace
+digests, and the feature is off by default — it exists purely so a
+developer can ask "where does the wall time of a year-long mission go?".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+class WallClockProfile:
+    """Per-owner wall-time accumulator fed by the kernel step hook."""
+
+    def __init__(self) -> None:
+        self.total_s = 0.0
+        self.total_events = 0
+        self._owners: Dict[str, Tuple[int, float]] = {}
+
+    def tick(self, owner: str, wall_s: float) -> None:
+        """Record that one event owned by ``owner`` took ``wall_s`` seconds."""
+        self.total_s += wall_s
+        self.total_events += 1
+        count, seconds = self._owners.get(owner, (0, 0.0))
+        self._owners[owner] = (count + 1, seconds + wall_s)
+
+    def events_per_second(self) -> float:
+        """Overall kernel throughput while profiling was on."""
+        return self.total_events / self.total_s if self.total_s > 0 else 0.0
+
+    def hottest(self, top: int = 10) -> List[Tuple[str, int, float]]:
+        """``(owner, events, wall seconds)`` rows, hottest first."""
+        rows = [
+            (owner, count, seconds)
+            for owner, (count, seconds) in self._owners.items()
+        ]
+        rows.sort(key=lambda row: (-row[2], row[0]))
+        return rows[:top]
+
+    def report(self, top: int = 10) -> str:
+        """Human-readable profile summary (for stderr, not for exports)."""
+        lines = [
+            f"self-profile: {self.total_events} events in "
+            f"{self.total_s:.3f} s wall ({self.events_per_second():,.0f} events/s)"
+        ]
+        for owner, count, seconds in self.hottest(top):
+            share = seconds / self.total_s if self.total_s > 0 else 0.0
+            lines.append(
+                f"  {owner or '<unowned>':<32} {count:>8} events  "
+                f"{seconds * 1e3:>9.1f} ms  {share:>5.1%}"
+            )
+        return "\n".join(lines)

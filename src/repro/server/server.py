@@ -77,6 +77,9 @@ class SouthamptonServer:
             DataUpload(station=station, time=self.sim.now, nbytes=nbytes, kind=kind,
                        payload=payload)
         )
+        metrics = self.sim.obs.metrics
+        metrics.inc("server_uploads_total", station=station, kind=kind)
+        metrics.inc("server_upload_bytes_total", nbytes, station=station, kind=kind)
 
     def received_bytes(self, station: Optional[str] = None, kind: Optional[str] = None) -> int:
         """Total payload received, optionally filtered."""

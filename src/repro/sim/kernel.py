@@ -6,6 +6,7 @@ import datetime as _dt
 import heapq
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
+from repro.obs.observability import Observability
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 from repro.sim.rng import RngRegistry
@@ -39,6 +40,10 @@ class Simulation:
         Master seed for the per-component RNG registry.
     trace:
         Optional pre-built :class:`Trace`; a fresh one is created otherwise.
+    obs:
+        Optional pre-built :class:`~repro.obs.Observability`; a fresh one
+        (metrics + trace bridge on, kernel spans and profiling off) is
+        created otherwise.
     """
 
     def __init__(
@@ -46,13 +51,17 @@ class Simulation:
         epoch: _dt.datetime = DEFAULT_EPOCH,
         seed: int = 0,
         trace: Optional[Trace] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.clock = SimClock(epoch=epoch)
         self.rng = RngRegistry(seed)
         self.trace = trace if trace is not None else Trace(clock=self.clock)
+        self.obs = obs if obs is not None else Observability(clock=self.clock)
+        self.obs.attach_trace(self.trace)
         self._queue: List[Tuple[float, int, Event]] = []
         self._sequence = 0
         self._stopped = False
+        self.events_processed = 0
 
     # ------------------------------------------------------------------
     # Time
@@ -115,7 +124,12 @@ class Simulation:
         """Process exactly one event from the queue."""
         when, _seq, event = heapq.heappop(self._queue)
         self.clock.advance_to(when)
-        event._run_callbacks()
+        self.events_processed += 1
+        obs = self.obs
+        if obs is not None and obs.kernel_active:
+            obs.kernel_step(event, when, len(self._queue), event._run_callbacks)
+        else:
+            event._run_callbacks()
 
     def peek(self) -> float:
         """Time of the next queued event, or ``inf`` if the queue is empty."""

@@ -52,17 +52,47 @@ class Trace:
         self._subscribers: List[Callable[[TraceRecord], None]] = []
 
     def emit(self, source: str, kind: str, **detail: Any) -> TraceRecord:
-        """Append a record stamped with the current simulated time."""
+        """Append a record stamped with the current simulated time.
+
+        A subscriber that raises does not corrupt the run: the exception
+        is captured as a ``trace.subscriber_error`` record (the metrics
+        layer subscribes here — a bad callback must not kill a mission).
+        """
         time = self.clock.now if self.clock is not None else 0.0
         record = TraceRecord(time=time, source=source, kind=kind, detail=detail)
         self.records.append(record)
-        for subscriber in self._subscribers:
-            subscriber(record)
+        for subscriber in list(self._subscribers):
+            try:
+                subscriber(record)
+            except Exception as exc:
+                # Deterministic identification only: qualnames, not reprs
+                # of closures (those embed host memory addresses).
+                self.records.append(
+                    TraceRecord(
+                        time=time,
+                        source="trace",
+                        kind="subscriber_error",
+                        detail={
+                            "subscriber": getattr(subscriber, "__qualname__",
+                                                  type(subscriber).__name__),
+                            "error": f"{type(exc).__name__}: {exc}",
+                            "record_source": source,
+                            "record_kind": kind,
+                        },
+                    )
+                )
         return record
 
     def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
         """Call ``callback`` for every future record."""
         self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Stop calling ``callback``; unknown callbacks are ignored."""
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
 
     def select(
         self,
@@ -71,7 +101,12 @@ class Trace:
         start: Optional[float] = None,
         end: Optional[float] = None,
     ) -> List[TraceRecord]:
-        """Records matching every given filter (prefix match on ``source``)."""
+        """Records matching every given filter.
+
+        ``source`` matches the exact component name or any dotted child
+        (``"base"`` matches ``"base"`` and ``"base.gumstix"`` but never a
+        sibling like ``"base2"``).
+        """
         return list(self.iter_select(source=source, kind=kind, start=start, end=end))
 
     def iter_select(
@@ -82,8 +117,11 @@ class Trace:
         end: Optional[float] = None,
     ) -> Iterator[TraceRecord]:
         """Iterator variant of :meth:`select`."""
+        child_prefix = source + "." if source is not None else None
         for record in self.records:
-            if source is not None and not record.source.startswith(source):
+            if source is not None and record.source != source and not (
+                child_prefix is not None and record.source.startswith(child_prefix)
+            ):
                 continue
             if kind is not None and record.kind != kind:
                 continue

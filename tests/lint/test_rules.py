@@ -253,11 +253,64 @@ class TestYieldDiscipline:
         assert found == []
 
 
+class TestNoPrint:
+    def test_fires_on_library_print(self):
+        found = findings_for(
+            """
+            def drain(queue):
+                print("draining", len(queue))
+            """,
+            rule="no-print",
+            path="src/repro/comms/transfer.py",
+        )
+        assert rule_ids(found) == ["no-print"]
+
+    def test_quiet_in_cli_modules(self):
+        snippet = """
+            def main():
+                print("summary")
+            """
+        for path in ("src/repro/cli.py", "src/repro/lint/cli.py"):
+            assert findings_for(snippet, rule="no-print", path=path) == []
+
+    def test_quiet_in_analysis_package(self):
+        found = findings_for(
+            """
+            def render(rows):
+                print(rows)
+            """,
+            rule="no-print",
+            path="src/repro/analysis/report.py",
+        )
+        assert found == []
+
+    def test_quiet_on_shadowed_or_method_print(self):
+        found = findings_for(
+            """
+            def render(printer):
+                printer.print("fine: not the builtin")
+            """,
+            rule="no-print",
+        )
+        assert found == []
+
+    def test_inline_suppression(self):
+        found = findings_for(
+            """
+            def main():
+                print("cli in disguise")  # repro-lint: disable=no-print
+            """,
+            rule="no-print",
+        )
+        assert found == []
+
+
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         expected = {
             "wall-clock", "rng-discipline", "float-equality",
             "mutable-default", "silent-except", "yield-discipline",
+            "no-print",
         }
         assert expected <= set(RULE_REGISTRY)
 

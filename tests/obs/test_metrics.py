@@ -1,0 +1,123 @@
+"""Unit tests for the metrics registry: kinds, labels, pinning, ordering."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    format_value,
+    label_items,
+)
+
+
+class TestFormatValue:
+    def test_integral_floats_lose_the_point(self):
+        assert format_value(3.0) == "3"
+        assert format_value(0.0) == "0"
+        assert format_value(-12.0) == "-12"
+
+    def test_fractional_floats_use_repr(self):
+        assert format_value(0.1) == "0.1"
+        assert format_value(2.5) == "2.5"
+
+    def test_huge_integral_floats_stay_repr(self):
+        # Past 2**53 int() of a float invents digits; repr is honest.
+        assert format_value(1e18) == "1e+18"
+
+
+class TestLabelItems:
+    def test_sorted_and_stringified(self):
+        assert label_items({"b": 2, "a": "x"}) == (("a", "x"), ("b", "2"))
+
+    def test_empty(self):
+        assert label_items({}) == ()
+
+
+class TestCounter:
+    def test_get_or_create_by_name_and_labels(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("uploads_total", station="base")
+        c2 = reg.counter("uploads_total", station="base")
+        c3 = reg.counter("uploads_total", station="reference")
+        assert c1 is c2
+        assert c1 is not c3
+
+    def test_inc(self):
+        reg = MetricsRegistry()
+        reg.inc("frames_total", result="ok")
+        reg.inc("frames_total", 3, result="ok")
+        assert reg.counter("frames_total", result="ok").value == 4
+
+    def test_counters_never_decrease(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("frames_total").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("soc", 0.8, station="base")
+        reg.gauge("soc", station="base").add(0.1)
+        assert reg.gauge("soc", station="base").value == pytest.approx(0.9)
+
+
+class TestHistogram:
+    def test_cumulative_buckets_end_with_inf(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("size_bytes", buckets=(10, 100))
+        for value in (5, 50, 500):
+            hist.observe(value)
+        assert hist.cumulative() == [("10", 1), ("100", 2), ("+Inf", 3)]
+        assert hist.count == 3
+        assert hist.sum == 555
+        assert hist.mean() == pytest.approx(185.0)
+
+    def test_default_buckets(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("latency_s").buckets == DEFAULT_BUCKETS
+
+    def test_buckets_must_increase(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("bad", buckets=(10, 10))
+
+    def test_bucket_spec_pinned_per_family(self):
+        reg = MetricsRegistry()
+        reg.observe("size_bytes", 7, buckets=(10, 100), station="base")
+        # Same family, new label set, no spec: inherits the pinned buckets.
+        other = reg.histogram("size_bytes", station="reference")
+        assert other.buckets == (10.0, 100.0)
+        with pytest.raises(ValueError):
+            reg.histogram("size_bytes", buckets=(1, 2), station="base")
+
+
+class TestKindPinning:
+    def test_name_cannot_change_kind(self):
+        reg = MetricsRegistry()
+        reg.inc("things_total")
+        with pytest.raises(TypeError):
+            reg.gauge("things_total")
+        assert reg.kind_of("things_total") == "counter"
+        assert reg.kind_of("never_used") is None
+
+
+class TestOrdering:
+    def test_metrics_sorted_by_name_then_labels(self):
+        reg = MetricsRegistry()
+        reg.inc("z_total", station="base")
+        reg.set_gauge("a_gauge", 1.0)
+        reg.inc("z_total", station="aaa")
+        keys = [(m.name, m.labels) for m in reg.metrics()]
+        assert keys == sorted(keys)
+        assert len(reg) == 3
+        assert [m.name for m in reg] == ["a_gauge", "z_total", "z_total"]
+
+    def test_families_grouped(self):
+        reg = MetricsRegistry()
+        reg.inc("z_total", station="base")
+        reg.inc("z_total", station="reference")
+        reg.set_gauge("a_gauge", 1.0)
+        fams = reg.families()
+        assert list(fams) == ["a_gauge", "z_total"]
+        assert len(fams["z_total"]) == 2

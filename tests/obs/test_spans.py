@@ -1,0 +1,102 @@
+"""Unit tests for the span recorder: nesting, tracks, instants, errors."""
+
+import pytest
+
+from repro.obs.spans import SpanRecorder
+from repro.sim.simtime import SimClock
+
+
+def make_clock(at=0.0):
+    clock = SimClock()
+    clock.advance_to(at)
+    return clock
+
+
+class TestNesting:
+    def test_depth_tracks_nesting_per_track(self):
+        clock = make_clock()
+        rec = SpanRecorder(clock)
+        with rec.span("outer", track="base"):
+            clock.advance_to(10.0)
+            with rec.span("inner", track="base"):
+                clock.advance_to(15.0)
+            # A span on a *different* track is independent of base's stack.
+            with rec.span("elsewhere", track="reference"):
+                clock.advance_to(20.0)
+        inner, elsewhere, outer = rec.records
+        assert (inner.name, inner.depth) == ("inner", 1)
+        assert (elsewhere.name, elsewhere.depth) == ("elsewhere", 0)
+        assert (outer.name, outer.depth) == ("outer", 0)
+        assert outer.start == 0.0 and outer.end == 20.0
+        assert inner.duration == 5.0
+
+    def test_close_order_is_append_order(self):
+        rec = SpanRecorder(make_clock())
+        with rec.span("a", track="t"):
+            with rec.span("b", track="t"):
+                pass
+        assert [r.name for r in rec.records] == ["b", "a"]
+
+
+class TestAttrsAndErrors:
+    def test_attrs_sorted(self):
+        rec = SpanRecorder(make_clock())
+        with rec.span("s", track="t", zulu=1, alpha="x"):
+            pass
+        assert rec.records[0].attrs == (("alpha", "x"), ("zulu", 1))
+
+    def test_exception_recorded_and_propagated(self):
+        rec = SpanRecorder(make_clock())
+        with pytest.raises(RuntimeError):
+            with rec.span("doomed", track="t"):
+                raise RuntimeError("boom")
+        record = rec.records[0]
+        assert ("error", "RuntimeError") in record.attrs
+
+
+class TestInstants:
+    def test_instant_is_zero_duration(self):
+        clock = make_clock(42.0)
+        rec = SpanRecorder(clock)
+        record = rec.instant("event", track="kernel", queue_depth=3)
+        assert record.start == record.end == 42.0
+        assert record.duration == 0.0
+        assert ("queue_depth", 3) in record.attrs
+
+    def test_instant_inherits_open_depth(self):
+        clock = make_clock()
+        rec = SpanRecorder(clock)
+        with rec.span("outer", track="t"):
+            instant = rec.instant("tick", track="t")
+        assert instant.depth == 1
+
+
+class TestAggregation:
+    def test_totals_by_name(self):
+        clock = make_clock()
+        rec = SpanRecorder(clock)
+        with rec.span("job", track="a"):
+            clock.advance_to(5.0)
+        with rec.span("job", track="b"):
+            clock.advance_to(8.0)
+        count, seconds = rec.totals_by_name()["job"]
+        assert count == 2
+        assert seconds == pytest.approx(8.0)
+
+    def test_totals_by_track_only_top_level(self):
+        clock = make_clock()
+        rec = SpanRecorder(clock)
+        with rec.span("outer", track="a"):
+            with rec.span("inner", track="a"):
+                clock.advance_to(3.0)
+            clock.advance_to(4.0)
+        count, seconds = rec.totals_by_track()["a"]
+        assert count == 1  # the nested span must not double-count
+        assert seconds == pytest.approx(4.0)
+        assert len(rec) == 2
+
+    def test_no_clock_means_time_zero(self):
+        rec = SpanRecorder()
+        with rec.span("s"):
+            pass
+        assert rec.records[0].start == 0.0

@@ -1,0 +1,77 @@
+"""Trace regressions: source-boundary selection, unsubscribe, and
+subscriber-error resilience."""
+
+import pytest
+
+from repro.sim.simtime import SimClock
+from repro.sim.trace import Trace
+
+
+@pytest.fixture
+def trace():
+    return Trace(SimClock())
+
+
+class TestSelectSourceBoundary:
+    def test_exact_and_dotted_children_match(self, trace):
+        trace.emit("base", "tick")
+        trace.emit("base.gumstix", "tick")
+        trace.emit("base.gumstix.job", "tick")
+        sources = [r.source for r in trace.select(source="base")]
+        assert sources == ["base", "base.gumstix", "base.gumstix.job"]
+
+    def test_sibling_prefix_does_not_match(self, trace):
+        # The historical bug: plain startswith("base") matched "base2".
+        trace.emit("base", "tick")
+        trace.emit("base2", "tick")
+        trace.emit("basement.heater", "tick")
+        assert [r.source for r in trace.select(source="base")] == ["base"]
+
+    def test_intermediate_source_selects_its_subtree(self, trace):
+        trace.emit("base.gumstix", "tick")
+        trace.emit("base.gumstix2", "tick")
+        assert [r.source for r in trace.select(source="base.gumstix")] == [
+            "base.gumstix"
+        ]
+
+
+class TestSubscribers:
+    def test_unsubscribe_stops_delivery(self, trace):
+        seen = []
+        trace.subscribe(seen.append)
+        trace.emit("a", "one")
+        trace.unsubscribe(seen.append)
+        trace.emit("a", "two")
+        assert [r.kind for r in seen] == ["one"]
+
+    def test_unsubscribe_unknown_callback_is_noop(self, trace):
+        trace.unsubscribe(lambda record: None)
+        assert len(trace) == 0
+
+    def test_raising_subscriber_does_not_break_emit(self, trace):
+        def bad(record):
+            raise ValueError("kaboom")
+
+        seen = []
+        trace.subscribe(bad)
+        trace.subscribe(seen.append)
+        record = trace.emit("base", "tick")
+        # The emit survived, later subscribers still ran...
+        assert record.kind == "tick"
+        assert seen == [record]
+        # ...and the failure itself is on the record stream.
+        errors = trace.select(source="trace", kind="subscriber_error")
+        assert len(errors) == 1
+        assert errors[0].detail["error"] == "ValueError: kaboom"
+        assert errors[0].detail["record_kind"] == "tick"
+        assert "bad" in errors[0].detail["subscriber"]
+
+    def test_error_record_not_delivered_to_failing_subscriber_loop(self, trace):
+        # A subscriber that always raises must produce exactly one error
+        # record per emit, not recurse on its own error record.
+        def always_raises(record):
+            raise RuntimeError("nope")
+
+        trace.subscribe(always_raises)
+        trace.emit("base", "tick")
+        assert len(trace) == 2  # the tick + one subscriber_error

@@ -55,3 +55,64 @@ class TestCommands:
 
     def test_no_wind_variant_runs(self, capsys):
         assert main(["simulate", "--days", "2", "--no-wind", "--solar-w", "3"]) == 0
+
+
+class TestObservabilityCli:
+    def test_metrics_prints_prometheus_dump(self, capsys):
+        assert main(["metrics", "--days", "2", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE battery_soc gauge" in out
+        assert "# TYPE kernel_events_processed gauge" in out
+        assert "gprs_upload_bytes_total" in out
+        assert 'daily_runs_total{station="base"}' in out
+
+    def test_metrics_out_writes_prometheus_or_json(self, tmp_path, capsys):
+        prom = tmp_path / "metrics.prom"
+        blob = tmp_path / "metrics.json"
+        assert main(["simulate", "--days", "1", "--seed", "1",
+                     "--metrics-out", str(prom)]) == 0
+        assert main(["simulate", "--days", "1", "--seed", "1",
+                     "--metrics-out", str(blob)]) == 0
+        capsys.readouterr()
+        assert "# TYPE" in prom.read_text()
+        import json
+        assert json.loads(blob.read_text())["version"] == 1
+
+    def test_spans_out_writes_chrome_trace(self, tmp_path, capsys):
+        out = tmp_path / "spans.json"
+        assert main(["simulate", "--days", "1", "--seed", "1",
+                     "--spans-out", str(out)]) == 0
+        capsys.readouterr()
+        import json
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+        assert any(e["ph"] == "M" for e in doc["traceEvents"])
+
+    def test_spans_out_ndjson(self, tmp_path, capsys):
+        out = tmp_path / "spans.ndjson"
+        assert main(["simulate", "--days", "1", "--seed", "1",
+                     "--spans-out", str(out)]) == 0
+        capsys.readouterr()
+        import json
+        lines = out.read_text().splitlines()
+        assert lines and all(json.loads(line)["name"] for line in lines)
+
+    def test_same_seed_exports_byte_identical(self, tmp_path, capsys):
+        paths = [tmp_path / "a.prom", tmp_path / "b.prom"]
+        for path in paths:
+            assert main(["simulate", "--days", "1", "--seed", "42",
+                         "--metrics-out", str(path)]) == 0
+        capsys.readouterr()
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_self_profile_reports_to_stderr(self, capsys):
+        assert main(["simulate", "--days", "1", "--seed", "0",
+                     "--self-profile"]) == 0
+        err = capsys.readouterr().err
+        assert "events" in err or "wall" in err.lower()
+
+    def test_report_has_observability_section(self, capsys):
+        assert main(["report", "--days", "2", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "Observability" in out
+        assert "Span totals" in out
