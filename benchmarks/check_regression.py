@@ -1,0 +1,90 @@
+"""Compare a fresh pytest-benchmark JSON run against the committed reference.
+
+Usage (what CI runs)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_kernel_performance.py \
+        --benchmark-json=bench_run.json
+    python benchmarks/check_regression.py bench_run.json
+
+A benchmark fails the gate when its measured ``min`` is more than
+``tolerance`` slower than the reference ``current_min_ms`` in
+``benchmarks/BENCH_kernel.json`` (default 30%; override with
+``--tolerance`` or the ``REPRO_BENCH_TOLERANCE`` environment variable).
+Faster-than-reference results never fail — they are the point — but are
+reported so the reference can be re-pinned when an improvement lands.
+
+Exit codes: 0 ok, 1 regression(s), 2 bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+DEFAULT_REFERENCE = Path(__file__).parent / "BENCH_kernel.json"
+
+
+def load_run_minima(path: str) -> dict:
+    """``{benchmark name: min milliseconds}`` from a pytest-benchmark JSON."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    return {
+        bench["name"]: bench["stats"]["min"] * 1000.0
+        for bench in data.get("benchmarks", [])
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("run_json", help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("--reference", default=str(DEFAULT_REFERENCE),
+                        help="committed reference (default: BENCH_kernel.json)")
+    parser.add_argument("--tolerance", type=float,
+                        default=float(os.environ.get("REPRO_BENCH_TOLERANCE", 0.30)),
+                        help="allowed slowdown fraction vs the reference "
+                             "(default 0.30, env REPRO_BENCH_TOLERANCE)")
+    args = parser.parse_args(argv)
+
+    try:
+        minima = load_run_minima(args.run_json)
+        with open(args.reference, "r", encoding="utf-8") as fh:
+            reference = json.load(fh)["benchmarks"]
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"check_regression: cannot load inputs: {exc}", file=sys.stderr)
+        return 2
+    if not minima:
+        print("check_regression: run JSON contains no benchmarks", file=sys.stderr)
+        return 2
+
+    failures = []
+    for name, ref in sorted(reference.items()):
+        if name not in minima:
+            print(f"  MISSING {name}: not in this run (skipped?)")
+            failures.append(name)
+            continue
+        measured = minima[name]
+        allowed = ref["current_min_ms"] * (1.0 + args.tolerance)
+        ratio = measured / ref["current_min_ms"]
+        verdict = "ok"
+        if measured > allowed:
+            verdict = "REGRESSION"
+            failures.append(name)
+        elif ratio < 1.0 - args.tolerance:
+            verdict = "faster (consider re-pinning the reference)"
+        print(f"  {name}: min {measured:.3f} ms vs reference "
+              f"{ref['current_min_ms']:.3f} ms ({ratio:.2f}x) — {verdict}")
+
+    if failures:
+        print(f"check_regression: {len(failures)} benchmark(s) regressed beyond "
+              f"{args.tolerance:.0%}: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"check_regression: all {len(reference)} benchmarks within "
+          f"{args.tolerance:.0%} of the reference")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

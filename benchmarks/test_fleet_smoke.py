@@ -1,0 +1,25 @@
+"""Fleet smoke bench: a small sweep end-to-end, timed once.
+
+Complements the kernel microbenchmarks: this is the integration-level
+"a sweep still works and the cache still pays" check CI runs alongside
+them.  One cold 2-config x 2-seed sweep is timed; the warm re-run must
+be served (almost) entirely from cache and produce byte-identical JSON.
+"""
+
+from benchmarks.conftest import run_once
+
+from repro.fleet import SweepCache, SweepSpec, expand_grid, run_sweep, sweep_to_json
+
+
+def test_sweep_cold_then_warm(benchmark, tmp_path):
+    spec = SweepSpec(grid=expand_grid({"solar_w": [5.0, 10.0]}),
+                     seeds=[0, 1], days=1.0)
+    cache_dir = str(tmp_path / "cache")
+
+    cold = run_once(benchmark, run_sweep, spec, jobs=2,
+                    cache=SweepCache(cache_dir))
+    assert cold.cache_misses == 4
+
+    warm = run_sweep(spec, jobs=1, cache=SweepCache(cache_dir))
+    assert warm.hit_rate >= 0.9
+    assert sweep_to_json(warm) == sweep_to_json(cold)

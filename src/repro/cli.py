@@ -8,6 +8,7 @@ Usage::
     repro-sim health --days 10
     repro-sim metrics --days 7 --seed 0
     repro-sim simulate --days 2 --metrics-out metrics.prom --spans-out spans.json
+    repro-sim sweep --days 7 --seeds 0,1,2,3 --param solar_w=5,10 --jobs 4
     repro-sim lint src/repro --check-determinism
 
 (Equivalently ``python -m repro.cli ...``.  ``repro-sim lint`` forwards to
@@ -78,6 +79,26 @@ def build_parser() -> argparse.ArgumentParser:
                         help="output format")
     export.add_argument("--what", choices=("velocity", "voltage", "snapshot"),
                         default="velocity", help="which product to export")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a config-grid x seed sweep in parallel, with result caching",
+    )
+    sweep.add_argument("--days", type=float, default=7.0, help="days per run")
+    sweep.add_argument("--seeds", default="0", metavar="S1,S2,...",
+                       help="comma-separated seed list (default: 0)")
+    sweep.add_argument("--param", action="append", default=[],
+                       metavar="FIELD=V1,V2,...",
+                       help="StationConfig field to sweep; repeatable — the "
+                            "grid is the cartesian product of all --param")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default: 1 = in-process)")
+    sweep.add_argument("--cache-dir", default=".repro-sweep-cache",
+                       help="result cache directory (default: .repro-sweep-cache)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="ignore and do not write the result cache")
+    sweep.add_argument("--output", metavar="FILE", default=None,
+                       help="write the sweep JSON here instead of stdout")
 
     lint = sub.add_parser(
         "lint",
@@ -265,6 +286,47 @@ def _cmd_export(args) -> int:
     return 0
 
 
+def _parse_param_value(raw: str):
+    """``--param`` value literal: int, then float, then bool, else string."""
+    lowered = raw.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def _cmd_sweep(args) -> int:
+    from repro.fleet import SweepCache, SweepSpec, expand_grid, run_sweep, sweep_to_json
+
+    params = {}
+    for spec_arg in args.param:
+        name, sep, values = spec_arg.partition("=")
+        if not sep or not values:
+            raise SystemExit(f"--param must look like FIELD=V1,V2,... (got {spec_arg!r})")
+        params[name] = [_parse_param_value(v) for v in values.split(",")]
+    seeds = [int(s) for s in args.seeds.split(",") if s]
+    spec = SweepSpec(grid=expand_grid(params), seeds=seeds, days=args.days)
+    cache = None if args.no_cache else SweepCache(args.cache_dir)
+    result = run_sweep(spec, jobs=args.jobs, cache=cache)
+    text = sweep_to_json(result)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    else:
+        print(text)
+    print(
+        f"sweep: {len(result.runs)} runs "
+        f"({result.cache_hits} cached, {result.cache_misses} computed, "
+        f"jobs={args.jobs})",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     if argv is None:
@@ -283,6 +345,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "metrics": _cmd_metrics,
         "export": _cmd_export,
+        "sweep": _cmd_sweep,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,35 @@
+"""repro.fleet — parallel sweep runner with a content-addressed result cache.
+
+The paper's experiments (EXPERIMENTS.md) are sweeps: the same deployment
+run across a grid of station configurations and seeds.  Each run is
+deterministic given ``(config, seed)``, so its summary is a pure function
+of its inputs — which makes two things cheap:
+
+- **parallelism**: runs share nothing, so a process pool fans them out
+  (:func:`repro.fleet.runner.run_sweep`);
+- **caching**: a finished run's summary is stored under a digest of
+  ``(config overrides, days, seed, package version)`` and re-used by any
+  later sweep containing the same point
+  (:class:`repro.fleet.cache.SweepCache`).
+
+Merged sweep output is ordered by ``(config digest, seed)`` — never by
+completion order — so a sweep's JSON is byte-identical regardless of
+worker count or cache state.
+"""
+
+from repro.fleet.cache import SweepCache, config_digest, job_digest
+from repro.fleet.results import SweepResult, merge_runs, sweep_to_json
+from repro.fleet.runner import SweepJob, SweepSpec, expand_grid, run_sweep
+
+__all__ = [
+    "SweepCache",
+    "SweepJob",
+    "SweepResult",
+    "SweepSpec",
+    "config_digest",
+    "expand_grid",
+    "job_digest",
+    "merge_runs",
+    "run_sweep",
+    "sweep_to_json",
+]

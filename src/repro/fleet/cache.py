@@ -1,0 +1,94 @@
+"""Content-addressed on-disk cache for finished sweep runs.
+
+A run is identified by the sha256 digest of its canonical inputs: the
+station-config overrides, the simulated duration, the seed, and the
+package version.  Anything that could change the result is part of the
+key, so a hit can be trusted blindly; bumping ``repro.__version__``
+invalidates every prior entry at once.
+
+Layout: ``<root>/<digest[:2]>/<digest>.json`` (two-level fan-out keeps
+directories small on big sweeps).  Writes are atomic — the payload goes
+to a ``.tmp`` sibling first and is then ``os.replace``d into place — so
+a killed sweep never leaves a truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro import __version__
+
+
+def _canonical(payload: Any) -> str:
+    """Canonical JSON: sorted keys, no whitespace variance."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def config_digest(overrides: Mapping[str, Any]) -> str:
+    """Digest of one grid point's config overrides (seed-independent).
+
+    This is the sweep's *merge key*: results are ordered by
+    ``(config_digest, seed)`` so output never depends on completion order.
+    """
+    return hashlib.sha256(_canonical(dict(overrides)).encode()).hexdigest()
+
+
+def job_digest(overrides: Mapping[str, Any], days: float, seed: int,
+               version: Optional[str] = None) -> str:
+    """Digest of one run's full inputs — the cache key.
+
+    ``version`` defaults to the installed ``repro.__version__`` at call
+    time, so bumping the package version invalidates every cached run.
+    """
+    if version is None:
+        version = __version__
+    payload = {
+        "config": dict(overrides),
+        "days": days,
+        "seed": seed,
+        "version": version,
+    }
+    return hashlib.sha256(_canonical(payload).encode()).hexdigest()
+
+
+class SweepCache:
+    """Digest-keyed store of run summaries under ``root``."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self.root, digest[:2], f"{digest}.json")
+
+    def load(self, digest: str) -> Optional[Dict[str, Any]]:
+        """The cached summary for ``digest``, or None.
+
+        A corrupt entry (truncated by an older non-atomic writer, manual
+        editing) reads as a miss and is re-computed, never trusted.
+        """
+        try:
+            with open(self._path(digest), "r", encoding="utf-8") as fh:
+                result = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, digest: str, result: Dict[str, Any]) -> None:
+        """Atomically persist ``result`` under ``digest``."""
+        path = self._path(digest)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(_canonical(result))
+        os.replace(tmp, path)
+
+    def stats(self) -> Tuple[int, int]:
+        """``(hits, misses)`` accumulated by this cache instance."""
+        return self.hits, self.misses

@@ -1,0 +1,55 @@
+"""Sweep results: deterministic merge and canonical serialisation.
+
+The contract every consumer (CLI, CI smoke bench, notebooks) relies on:
+a sweep's JSON depends only on the grid, the seeds, the duration and the
+package version — not on worker count, completion order or cache state.
+:func:`merge_runs` enforces the ordering; :func:`sweep_to_json` keeps the
+encoding canonical (sorted keys, fixed separators).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro import __version__
+
+
+@dataclass
+class SweepResult:
+    """A finished sweep: ordered runs plus cache statistics.
+
+    ``runs`` entries are dicts with keys ``config`` (the overrides),
+    ``config_digest``, ``seed``, ``days`` and ``result`` (the per-run
+    summary).  ``cache_hits``/``cache_misses`` are *not* serialised into
+    the JSON — they vary between invocations of the identical sweep.
+    """
+
+    runs: List[Dict[str, Any]] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of runs served from cache (0.0 for an empty sweep)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+def merge_runs(runs: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Order run records by ``(config_digest, seed)``.
+
+    Completion order out of the process pool is non-deterministic; this
+    sort is what makes ``--jobs 1`` and ``--jobs 4`` byte-identical.
+    """
+    return sorted(runs, key=lambda run: (run["config_digest"], run["seed"]))
+
+
+def sweep_to_json(result: SweepResult) -> str:
+    """Canonical JSON for a sweep (stable across jobs/cache variations)."""
+    payload = {
+        "version": __version__,
+        "runs": merge_runs(result.runs),
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), indent=None)

@@ -1,0 +1,177 @@
+"""The fleet runner: fan a config×seed grid across worker processes.
+
+Each grid point is an independent deployment — no shared state, no
+ordering constraints — so the runner is a straight map over jobs with a
+cache lookup in front.  Cache reads and writes happen only in the parent
+process (workers stay pure functions), which keeps the cache free of
+write races without any locking.
+
+``--jobs 1`` runs in-process; the output is byte-identical either way
+because :func:`repro.fleet.results.merge_runs` orders by
+``(config_digest, seed)`` before serialisation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.config import DeploymentConfig, StationConfig
+from repro.core.deployment import Deployment
+from repro.fleet.cache import SweepCache, config_digest, job_digest
+from repro.fleet.results import SweepResult
+
+#: Override items as a sorted tuple of pairs — hashable, picklable, and
+#: canonical (two dicts with the same content produce the same job).
+OverrideItems = Tuple[Tuple[str, Any], ...]
+
+_STATION_FIELDS = frozenset(f.name for f in dataclasses.fields(StationConfig))
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepJob:
+    """One grid point: base-station config overrides × seed × duration."""
+
+    overrides: OverrideItems
+    seed: int
+    days: float
+    config_digest: str
+    digest: str
+
+
+@dataclasses.dataclass
+class SweepSpec:
+    """A sweep: every config in ``grid`` crossed with every seed."""
+
+    grid: List[Dict[str, Any]]
+    seeds: Sequence[int]
+    days: float
+
+    def jobs(self) -> List[SweepJob]:
+        """The expanded job list, validated, in deterministic order."""
+        out: List[SweepJob] = []
+        for overrides in self.grid:
+            unknown = set(overrides) - _STATION_FIELDS
+            if unknown:
+                raise ValueError(
+                    f"unknown StationConfig field(s) in sweep grid: {sorted(unknown)}"
+                )
+            items: OverrideItems = tuple(sorted(overrides.items()))
+            cfg_digest = config_digest(overrides)
+            for seed in self.seeds:
+                out.append(
+                    SweepJob(
+                        overrides=items,
+                        seed=int(seed),
+                        days=self.days,
+                        config_digest=cfg_digest,
+                        digest=job_digest(overrides, self.days, seed),
+                    )
+                )
+        return out
+
+
+def expand_grid(params: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """Cartesian product of ``{field: [values...]}`` into override dicts.
+
+    An empty mapping yields the single all-defaults config.  Insertion
+    order of ``params`` fixes the nesting order, but the merge key is the
+    content digest, so grid ordering never changes sweep output.
+    """
+    grid: List[Dict[str, Any]] = [{}]
+    for name, values in params.items():
+        grid = [dict(point, **{name: value}) for point in grid for value in values]
+    return grid
+
+
+def run_job(job: SweepJob) -> Dict[str, Any]:
+    """Execute one deployment run and return its summary (worker entry).
+
+    Top-level so it pickles into pool workers; everything it needs rides
+    in the :class:`SweepJob`.
+    """
+    base = StationConfig()
+    for name, value in job.overrides:
+        setattr(base, name, value)
+    deployment = Deployment(DeploymentConfig(seed=job.seed, base=base))
+    deployment.run_days(job.days)
+    return summarise(deployment, job.days)
+
+
+def summarise(deployment: Deployment, days: float) -> Dict[str, Any]:
+    """The per-run summary: deterministic, JSON-serialisable scalars only."""
+    sim = deployment.sim
+    stations: Dict[str, Any] = {}
+    for station in deployment.stations:
+        stations[station.name] = {
+            "daily_runs": station.daily_runs,
+            "effective_state": int(station.effective_state),
+            "soc": round(station.bus.battery.soc, 6),
+            "delivered_bytes": deployment.server.received_bytes(station=station.name),
+            "gprs_cost": round(station.modem.cost_total, 6),
+            "watchdog_cuts": station.msp.watchdog_cuts,
+            "skipped_comms_days": station.skipped_comms_days,
+        }
+    return {
+        "days": days,
+        "events_processed": sim.events_processed,
+        "stations": stations,
+        "probes_alive": deployment.surviving_probes(),
+        "readings_collected": deployment.base.readings_collected,
+    }
+
+
+def _record(job: SweepJob, summary: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "config": dict(job.overrides),
+        "config_digest": job.config_digest,
+        "seed": job.seed,
+        "days": job.days,
+        "result": summary,
+    }
+
+
+def run_sweep(
+    spec: SweepSpec,
+    jobs: int = 1,
+    cache: Optional[SweepCache] = None,
+) -> SweepResult:
+    """Run every grid point, using ``cache`` and up to ``jobs`` workers.
+
+    Cached points never reach the pool.  With ``jobs == 1`` the misses run
+    in-process (no pool, no pickling), which is also the path coverage
+    tools and debuggers see.
+    """
+    all_jobs = spec.jobs()
+    result = SweepResult()
+    pending: List[SweepJob] = []
+    for job in all_jobs:
+        summary = cache.load(job.digest) if cache is not None else None
+        if summary is not None:
+            result.runs.append(_record(job, summary))
+        else:
+            pending.append(job)
+    result.cache_misses = len(pending)
+    result.cache_hits = len(all_jobs) - len(pending)
+
+    if jobs <= 1 or len(pending) <= 1:
+        for job in pending:
+            summary = run_job(job)
+            if cache is not None:
+                cache.store(job.digest, summary)
+            result.runs.append(_record(job, summary))
+        return result
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+        futures = {pool.submit(run_job, job): job for job in pending}
+        remaining = set(futures)
+        while remaining:
+            done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+            for future in done:
+                job = futures[future]
+                summary = future.result()
+                if cache is not None:
+                    cache.store(job.digest, summary)
+                result.runs.append(_record(job, summary))
+    return result

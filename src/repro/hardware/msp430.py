@@ -189,47 +189,53 @@ class Msp430:
         if self._scheduler_wait is not None and not self._scheduler_wait.triggered:
             self._scheduler_wait.succeed("schedule_changed")
 
-    def _next_due(self) -> Optional[Tuple[float, ScheduleEntry]]:
-        """(delay_seconds, entry) for the next schedule slot, on the RTC clock."""
-        if not self.schedule:
-            return None
+    def _plan_day(self) -> List[Tuple[float, ScheduleEntry]]:
+        """All upcoming schedule slots as ``(delay_seconds, entry)``, ascending.
+
+        A slot already past (or due within a tick) rolls over to tomorrow,
+        matching the paper's daily wake cycle.  The whole day is planned from
+        a single RTC read, so the plan can be armed as one
+        :meth:`~repro.sim.kernel.Simulation.schedule_many` batch.
+        """
         believed = self.rtc.now()
         now_hours = believed.hour + believed.minute / 60.0 + believed.second / 3600.0
-        best_delay, best_entry = None, None
+        plan: List[Tuple[float, ScheduleEntry]] = []
         for entry in self.schedule:
             delta_hours = entry.hour - now_hours
             if delta_hours <= 1e-9:
                 delta_hours += 24.0
-            delay = delta_hours * HOUR
-            if best_delay is None or delay < best_delay:
-                best_delay, best_entry = delay, entry
-        assert best_entry is not None
-        return best_delay, best_entry
+            plan.append((delta_hours * HOUR, entry))
+        plan.sort(key=lambda slot: slot[0])
+        return plan
 
     def _scheduler(self):
+        sim = self.sim
         while True:
             yield from self._wait_if_halted()
-            due = self._next_due()
-            if due is None:
+            if not self.schedule:
                 # No schedule: wait for a change.
-                self._scheduler_wait = self.sim.event(f"{self.name}.sched_wait")
+                self._scheduler_wait = sim.event(f"{self.name}.sched_wait")
                 yield self._scheduler_wait
                 continue
-            delay, entry = due
             generation = self._schedule_generation
-            self._scheduler_wait = self.sim.event(f"{self.name}.sched_wait")
-            timeout = self.sim.timeout(delay)
-            yield self.sim.any_of([timeout, self._scheduler_wait])
-            if self.halted or self._schedule_generation != generation:
-                continue  # schedule rewritten while waiting: recompute
-            if not timeout.triggered:
-                continue
-            self.sim.trace.emit(self.name, "schedule_fire", action=entry.action, hour=entry.hour)
-            callback = self.actions.get(entry.action)
-            if callback is None:
-                self.sim.trace.emit(self.name, "schedule_action_missing", action=entry.action)
-            else:
-                callback()
+            plan = self._plan_day()
+            # Arm the whole day in one batch: one clock read and one
+            # validation pass instead of per-slot scheduling.
+            timeouts = sim.schedule_many([delay for delay, _ in plan])
+            for timeout, (_, entry) in zip(timeouts, plan):
+                self._scheduler_wait = sim.event(f"{self.name}.sched_wait")
+                yield sim.any_of([timeout, self._scheduler_wait])
+                if self.halted or self._schedule_generation != generation:
+                    break  # rewritten or browned-out mid-day: replan
+                if not timeout.processed:
+                    break  # woken without the slot firing: replan
+                sim.trace.emit(self.name, "schedule_fire", action=entry.action, hour=entry.hour)
+                callback = self.actions.get(entry.action)
+                if callback is None:
+                    sim.trace.emit(self.name, "schedule_action_missing", action=entry.action)
+                else:
+                    callback()
+            # Day exhausted (or plan abandoned): loop around and replan.
 
     # ------------------------------------------------------------------
     # Gumstix supervision

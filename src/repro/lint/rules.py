@@ -411,3 +411,62 @@ class NoPrintRule(Rule):
                     "print() in library code; emit a Trace record or metric "
                     "(or move the output into a CLI/analysis module)",
                 )
+
+
+# ----------------------------------------------------------------------
+# Rule 8: no allocations in the kernel hot path
+# ----------------------------------------------------------------------
+@register
+class NoHotPathAllocRule(Rule):
+    """The kernel's per-event code must not allocate containers or closures.
+
+    ``Simulation.run``/``step``/``schedule`` execute once per event —
+    millions of times per sweep.  A dict/list/set literal, a comprehension
+    or a ``lambda`` there costs an allocation per event and silently undoes
+    the batched fast path (docs/performance.md).  Batch APIs such as
+    ``schedule_many`` amortise one allocation over many events, so they are
+    outside the hot set.
+    """
+
+    id = "no-hot-path-alloc"
+    description = "container literal/comprehension/lambda in a kernel hot-path function"
+
+    #: Functions that run per processed/scheduled event.
+    _HOT_FUNCTIONS = frozenset(
+        {"run", "step", "schedule", "_schedule_now", "peek", "_run_callbacks"}
+    )
+    _ALLOC_NODES = (
+        ast.Dict, ast.List, ast.Set,
+        ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp,
+        ast.Lambda,
+    )
+    _ALLOC_LABEL = {
+        ast.Dict: "dict literal",
+        ast.List: "list literal",
+        ast.Set: "set literal",
+        ast.ListComp: "list comprehension",
+        ast.SetComp: "set comprehension",
+        ast.DictComp: "dict comprehension",
+        ast.GeneratorExp: "generator expression",
+        ast.Lambda: "lambda",
+    }
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Only the kernel module has per-event functions to police."""
+        return ctx.posix_path.endswith("sim/kernel.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name not in self._HOT_FUNCTIONS:
+                continue
+            for inner in ast.walk(node):
+                if isinstance(inner, self._ALLOC_NODES):
+                    label = self._ALLOC_LABEL[type(inner)]
+                    yield self.finding(
+                        ctx, inner,
+                        f"{label} inside hot-path function {node.name}(); "
+                        "hoist it out of the per-event path or move the work "
+                        "to a batch API (docs/performance.md)",
+                    )

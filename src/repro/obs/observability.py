@@ -38,8 +38,10 @@ def owner_process_name(event) -> str:
     A process waits on an event by appending its bound ``_resume`` method
     to the event's callbacks; the callback's ``__self__`` is the process.
     Must be called *before* the event's callbacks run (they are consumed).
+    Reads the raw ``_callbacks`` storage so a callback-free event is not
+    forced to materialise a list just to be inspected.
     """
-    for callback in event.callbacks or ():
+    for callback in getattr(event, "_callbacks", None) or ():
         owner = getattr(callback, "__self__", None)
         if owner is not None and hasattr(owner, "_generator"):
             name = getattr(owner, "name", "")
@@ -65,24 +67,42 @@ class Observability:
         self.profile: Optional[WallClockProfile] = (
             WallClockProfile() if self_profile else None
         )
-        #: Fast-path flag the kernel checks once per step; True only when
-        #: per-event work (spans or profiling) is actually wanted.
+        #: Fast-path flag consulted when the kernel (re)selects its per-step
+        #: dispatch; True only when per-event work (spans or profiling) is
+        #: actually wanted.
         self.kernel_active = bool(kernel_spans or self_profile)
         self._trace_bridge = trace_bridge
+        #: Callbacks to re-select cached kernel dispatch when flags change
+        #: (the kernel registers :meth:`Simulation._refresh_dispatch` here,
+        #: so the run loop never re-reads ``kernel_active`` per event).
+        self._dispatch_listeners: list = []
 
     # ------------------------------------------------------------------
     # Configuration
     # ------------------------------------------------------------------
+    def _add_dispatch_listener(self, callback: Callable[[], None]) -> None:
+        self._dispatch_listeners.append(callback)
+
+    def _remove_dispatch_listener(self, callback: Callable[[], None]) -> None:
+        if callback in self._dispatch_listeners:
+            self._dispatch_listeners.remove(callback)
+
+    def _notify_dispatch(self) -> None:
+        for callback in list(self._dispatch_listeners):
+            callback()
+
     def enable_kernel_spans(self) -> None:
         """Record an instant span for every kernel event from now on."""
         self.kernel_spans = True
         self.kernel_active = True
+        self._notify_dispatch()
 
     def enable_self_profile(self) -> None:
         """Time every event's callbacks on the host clock from now on."""
         if self.profile is None:
             self.profile = WallClockProfile()
         self.kernel_active = True
+        self._notify_dispatch()
 
     # ------------------------------------------------------------------
     # Spans

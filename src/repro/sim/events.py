@@ -3,10 +3,17 @@
 An :class:`Event` starts *pending*, is *triggered* with a value (or an
 exception), and then runs its callbacks exactly once when the kernel
 processes it.  Processes wait on events by ``yield``-ing them.
+
+Hot-path notes (see ``docs/performance.md``): every class here carries
+``__slots__``, the callback list is created lazily (a bare timeout that
+nothing waits on never allocates one), and :class:`Timeout` schedules
+itself on construction without going through the generic
+:meth:`Event.__init__` / :meth:`Simulation.schedule` path.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -14,6 +21,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 
 #: Sentinel for "not yet triggered".
 _PENDING = object()
+
+#: Shared sentinel meaning "pending, but no callback list allocated yet".
+#: An empty tuple iterates as cheaply as an empty list and is immutable,
+#: so one instance serves every callback-free event in the system.
+_NO_CALLBACKS: tuple = ()
+
+#: Upper bound for a schedulable delay (rejects inf and, via the failed
+#: comparison, NaN).
+_INF = float("inf")
 
 
 class Event:
@@ -27,13 +43,32 @@ class Event:
         Optional label used in traces and error messages.
     """
 
+    __slots__ = ("sim", "name", "_callbacks", "_value", "_exception", "_defused")
+
     def __init__(self, sim: "Simulation", name: str = "") -> None:
         self.sim = sim
         self.name = name
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._callbacks: Any = _NO_CALLBACKS
         self._value: Any = _PENDING
         self._exception: Optional[BaseException] = None
         self._defused = False
+
+    @property
+    def callbacks(self) -> Optional[List[Callable[["Event"], None]]]:
+        """The callback list (``None`` once processed).
+
+        Materialised on first access: events nobody waits on never pay for
+        the list allocation.
+        """
+        cbs = self._callbacks
+        if cbs.__class__ is tuple:
+            cbs = []
+            self._callbacks = cbs
+        return cbs
+
+    @callbacks.setter
+    def callbacks(self, value: Optional[List[Callable[["Event"], None]]]) -> None:
+        self._callbacks = value
 
     @property
     def triggered(self) -> bool:
@@ -43,7 +78,7 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once the kernel has run the event's callbacks."""
-        return self.callbacks is None
+        return self._callbacks is None
 
     @property
     def ok(self) -> bool:
@@ -61,10 +96,10 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING or self._exception is not None:
             raise RuntimeError(f"event {self.name!r} already triggered")
         self._value = value
-        self.sim.schedule(self, delay=0.0)
+        self.sim._schedule_now(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -75,13 +110,13 @@ class Event:
         exception propagates out of :meth:`Simulation.run` — errors must not
         pass silently.
         """
-        if self.triggered:
+        if self._value is not _PENDING or self._exception is not None:
             raise RuntimeError(f"event {self.name!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._exception = exception
         self._value = None
-        self.sim.schedule(self, delay=0.0)
+        self.sim._schedule_now(self)
         return self
 
     def defuse(self) -> None:
@@ -89,8 +124,9 @@ class Event:
         self._defused = True
 
     def _run_callbacks(self) -> None:
-        callbacks, self.callbacks = self.callbacks, None
+        callbacks = self._callbacks
         assert callbacks is not None
+        self._callbacks = None
         for callback in callbacks:
             callback(self)
         if self._exception is not None and not self._defused:
@@ -102,15 +138,40 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers automatically after a fixed delay."""
+    """An event that triggers automatically after a fixed delay.
+
+    Construction *is* scheduling: the timeout pushes itself straight onto
+    the kernel queue without an intermediate callback list, and its default
+    display name (``timeout(5)``) is only formatted if something actually
+    reads it.
+    """
+
+    __slots__ = ("delay", "_name")
 
     def __init__(self, sim: "Simulation", delay: float, value: Any = None, name: str = "") -> None:
-        if delay < 0:
-            raise ValueError(f"timeout delay must be >= 0, got {delay}")
-        super().__init__(sim, name or f"timeout({delay:g})")
+        if not 0.0 <= delay < _INF:
+            raise ValueError(f"timeout delay must be finite and >= 0, got {delay!r}")
+        self.sim = sim
+        self._name = name
+        self._callbacks = _NO_CALLBACKS
         self._value = value
+        self._exception = None
+        self._defused = False
         self.delay = delay
-        sim.schedule(self, delay=delay)
+        seq = sim._sequence
+        sim._sequence = seq + 1
+        heappush(sim._queue, (sim.clock._now + delay, seq, self))
+
+    @property
+    def name(self) -> str:  # type: ignore[override] - shadows the Event slot
+        label = self._name
+        if not label:
+            label = self._name = f"timeout({self.delay:g})"
+        return label
+
+    @name.setter
+    def name(self, value: str) -> None:
+        self._name = value
 
 
 class Interrupt(Exception):
@@ -128,9 +189,11 @@ class Interrupt(Exception):
 class AllOf(Event):
     """Composite event that succeeds when all child events have succeeded."""
 
+    __slots__ = ("_pending_count", "_results")
+
     def __init__(self, sim: "Simulation", events: List[Event], name: str = "all_of") -> None:
         super().__init__(sim, name)
-        self._pending = 0
+        self._pending_count = 0
         self._results: dict = {}
         for event in events:
             if event.processed:
@@ -139,9 +202,9 @@ class AllOf(Event):
                     return
                 self._results[event] = event.value
             else:
-                self._pending += 1
+                self._pending_count += 1
                 event.callbacks.append(self._on_child)  # type: ignore[union-attr]
-        if self._pending == 0 and not self.triggered:
+        if self._pending_count == 0 and not self.triggered:
             self.succeed(self._results)
 
     def _on_child(self, event: Event) -> None:
@@ -152,13 +215,15 @@ class AllOf(Event):
             self.fail(event._exception)  # type: ignore[arg-type]
             return
         self._results[event] = event.value
-        self._pending -= 1
-        if self._pending == 0:
+        self._pending_count -= 1
+        if self._pending_count == 0:
             self.succeed(self._results)
 
 
 class AnyOf(Event):
     """Composite event that succeeds when the first child event succeeds."""
+
+    __slots__ = ()
 
     def __init__(self, sim: "Simulation", events: List[Event], name: str = "any_of") -> None:
         super().__init__(sim, name)

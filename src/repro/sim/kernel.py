@@ -1,13 +1,21 @@
-"""The simulation kernel: clock + event queue + run loop."""
+"""The simulation kernel: clock + event queue + run loop.
+
+This module is the hottest code in the repository: every experiment,
+benchmark and fleet sweep funnels through :meth:`Simulation.run`.  The
+hot-path rules it follows (no per-event allocations, bound-method dispatch
+cached outside the loop, batch scheduling) are written down in
+``docs/performance.md`` and enforced by the ``no-hot-path-alloc`` lint
+rule.
+"""
 
 from __future__ import annotations
 
 import datetime as _dt
-import heapq
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from heapq import heappop, heappush
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from repro.obs.observability import Observability
-from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.events import _INF, _NO_CALLBACKS, AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 from repro.sim.rng import RngRegistry
 from repro.sim.simtime import DEFAULT_EPOCH, SimClock
@@ -56,12 +64,44 @@ class Simulation:
         self.clock = SimClock(epoch=epoch)
         self.rng = RngRegistry(seed)
         self.trace = trace if trace is not None else Trace(clock=self.clock)
-        self.obs = obs if obs is not None else Observability(clock=self.clock)
-        self.obs.attach_trace(self.trace)
         self._queue: List[Tuple[float, int, Event]] = []
         self._sequence = 0
         self._stopped = False
         self.events_processed = 0
+        #: Cached per-step instrumentation hook: ``None`` on the fast path,
+        #: the bound ``Observability.kernel_step`` method otherwise.  Selected
+        #: once whenever the hub or its flags change — the run loop never
+        #: chases ``obs.kernel_active`` attribute chains per event.
+        self._kernel_hook: Optional[Callable] = None
+        self._obs: Optional[Observability] = None
+        self.obs = obs if obs is not None else Observability(clock=self.clock)
+        self.obs.attach_trace(self.trace)
+
+    # ------------------------------------------------------------------
+    # Observability dispatch
+    # ------------------------------------------------------------------
+    @property
+    def obs(self) -> Optional[Observability]:
+        """The observability hub (``None`` disables all instrumentation)."""
+        return self._obs
+
+    @obs.setter
+    def obs(self, hub: Optional[Observability]) -> None:
+        old = self._obs
+        if old is not None:
+            old._remove_dispatch_listener(self._refresh_dispatch)
+        self._obs = hub
+        if hub is not None:
+            hub._add_dispatch_listener(self._refresh_dispatch)
+        self._refresh_dispatch()
+
+    def _refresh_dispatch(self) -> None:
+        """Re-select the per-step dispatch after an observability change."""
+        hub = self._obs
+        if hub is not None and hub.kernel_active:
+            self._kernel_hook = hub.kernel_step
+        else:
+            self._kernel_hook = None
 
     # ------------------------------------------------------------------
     # Time
@@ -69,7 +109,7 @@ class Simulation:
     @property
     def now(self) -> float:
         """Current simulated time in seconds since the epoch."""
-        return self.clock.now
+        return self.clock._now
 
     def utcnow(self) -> _dt.datetime:
         """Current simulated instant as a UTC datetime."""
@@ -79,11 +119,61 @@ class Simulation:
     # Scheduling primitives
     # ------------------------------------------------------------------
     def schedule(self, event: Event, delay: float = 0.0) -> None:
-        """Enqueue ``event`` to be processed ``delay`` seconds from now."""
-        if delay < 0:
-            raise ValueError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._queue, (self.now + delay, self._sequence, event))
-        self._sequence += 1
+        """Enqueue ``event`` to be processed ``delay`` seconds from now.
+
+        ``delay`` must be finite and non-negative: a NaN or infinite delay
+        would silently corrupt the heap order (every later comparison
+        against it is False), so both are rejected up front.
+        """
+        if not 0.0 <= delay < _INF:
+            raise ValueError(
+                f"schedule() delay must be finite and >= 0, got {delay!r}"
+            )
+        seq = self._sequence
+        self._sequence = seq + 1
+        heappush(self._queue, (self.clock._now + delay, seq, event))
+
+    def _schedule_now(self, event: Event) -> None:
+        """Internal zero-delay enqueue (succeed/fail/process resume path)."""
+        seq = self._sequence
+        self._sequence = seq + 1
+        heappush(self._queue, (self.clock._now, seq, event))
+
+    def schedule_many(self, delays: Iterable[float]) -> List[Timeout]:
+        """Create and enqueue one bare timeout per delay, as a single batch.
+
+        Equivalent to ``[sim.timeout(d) for d in delays]`` but the whole
+        batch shares one clock read and one validation pass, so daily
+        planners (the MSP430 schedule, fleet warm-up) can arm a day's worth
+        of slots without per-event scheduling overhead.  The batch is
+        validated before anything is enqueued: a bad delay leaves the queue
+        untouched.
+        """
+        batch = list(delays)
+        for delay in batch:
+            if not 0.0 <= delay < _INF:
+                raise ValueError(
+                    f"schedule_many() delays must be finite and >= 0, got {delay!r}"
+                )
+        queue = self._queue
+        now = self.clock._now
+        seq = self._sequence
+        out: List[Timeout] = []
+        append = out.append
+        for delay in batch:
+            timeout = Timeout.__new__(Timeout)
+            timeout.sim = self
+            timeout._name = ""
+            timeout._callbacks = _NO_CALLBACKS
+            timeout._value = None
+            timeout._exception = None
+            timeout._defused = False
+            timeout.delay = delay
+            heappush(queue, (now + delay, seq, timeout))
+            seq += 1
+            append(timeout)
+        self._sequence = seq
+        return out
 
     def event(self, name: str = "") -> Event:
         """Create a fresh pending event."""
@@ -106,10 +196,17 @@ class Simulation:
         return AnyOf(self, events)
 
     def call_at(self, when: float, func: Callable[[], None]) -> Event:
-        """Run ``func()`` at absolute simulated time ``when``."""
-        if when < self.now:
-            raise ValueError(f"call_at target {when} is in the past (now={self.now})")
-        event = Timeout(self, when - self.now, name=f"call_at({when:g})")
+        """Run ``func()`` at absolute simulated time ``when``.
+
+        Mirrors :meth:`schedule`'s validation: ``when`` must be finite and
+        not in the past.
+        """
+        if not self.clock._now <= when < _INF:
+            raise ValueError(
+                f"call_at() target must be finite and >= now "
+                f"(got {when!r}, now={self.clock._now})"
+            )
+        event = Timeout(self, when - self.clock._now, name=f"call_at({when:g})")
         event.callbacks.append(lambda _evt: func())  # type: ignore[union-attr]
         return event
 
@@ -122,36 +219,78 @@ class Simulation:
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Process exactly one event from the queue."""
-        when, _seq, event = heapq.heappop(self._queue)
+        when, _seq, event = heappop(self._queue)
         self.clock.advance_to(when)
         self.events_processed += 1
-        obs = self.obs
-        if obs is not None and obs.kernel_active:
-            obs.kernel_step(event, when, len(self._queue), event._run_callbacks)
-        else:
+        hook = self._kernel_hook
+        if hook is None:
             event._run_callbacks()
+        else:
+            hook(event, when, len(self._queue), event._run_callbacks)
 
     def peek(self) -> float:
         """Time of the next queued event, or ``inf`` if the queue is empty."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._queue[0][0] if self._queue else _INF
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue empties, ``until`` is reached, or stop() is called.
 
-        ``until`` is an *absolute* simulated time.  When the run ends because
-        of ``until``, the clock is left exactly at ``until``.
+        ``until`` is an *absolute* simulated time.  An event scheduled
+        exactly at ``until`` still fires; when the run ends because of
+        ``until``, the clock is left exactly at ``until``.
         """
         self._stopped = False
+        queue = self._queue
+        clock = self.clock
+        pop = heappop
+        processed = 0
         try:
-            while self._queue and not self._stopped:
-                if until is not None and self.peek() > until:
-                    break
-                self.step()
+            if until is None:
+                while queue and not self._stopped:
+                    when, _seq, event = pop(queue)
+                    clock._now = when  # heap order keeps this monotonic
+                    processed += 1
+                    hook = self._kernel_hook
+                    if hook is None:
+                        # Event._run_callbacks, inlined: one Python call per
+                        # event is the difference between the fast path and
+                        # a ~15% slower kernel.
+                        callbacks = event._callbacks
+                        event._callbacks = None
+                        for callback in callbacks:
+                            callback(event)
+                        exc = event._exception
+                        if exc is not None and not event._defused:
+                            raise exc
+                    else:
+                        hook(event, when, len(queue), event._run_callbacks)
+            else:
+                while queue and not self._stopped:
+                    if queue[0][0] > until:
+                        break
+                    when, _seq, event = pop(queue)
+                    clock._now = when
+                    processed += 1
+                    hook = self._kernel_hook
+                    if hook is None:
+                        callbacks = event._callbacks
+                        event._callbacks = None
+                        for callback in callbacks:
+                            callback(event)
+                        exc = event._exception
+                        if exc is not None and not event._defused:
+                            raise exc
+                    else:
+                        hook(event, when, len(queue), event._run_callbacks)
         except StopSimulation:
             return
-        if until is not None and not self._stopped and self.clock.now < until:
-            self.clock.advance_to(until)
+        finally:
+            self.events_processed += processed
+        if until is not None and not self._stopped and clock._now < until:
+            clock._now = until
+    # repro-lint note: the loop above is the system's innermost hot path —
+    # keep it free of per-event allocations (no-hot-path-alloc rule).
 
     def run_days(self, days: float) -> None:
         """Convenience: run for ``days`` simulated days from the current time."""
-        self.run(until=self.now + days * 86400.0)
+        self.run(until=self.clock._now + days * 86400.0)

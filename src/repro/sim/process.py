@@ -9,9 +9,10 @@ finishes, so processes can wait on each other.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
-from repro.sim.events import Event, Interrupt
+from repro.sim.events import _NO_CALLBACKS, _PENDING, Event, Interrupt
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.kernel import Simulation
@@ -24,15 +25,33 @@ class ProcessKilled(Exception):
 class Process(Event):
     """A running generator, schedulable and waitable like any event."""
 
+    __slots__ = ("_generator", "_waiting_on", "_resume_cb")
+
     def __init__(self, sim: "Simulation", generator: Generator, name: str = "") -> None:
-        super().__init__(sim, name or getattr(generator, "__name__", "process"))
+        # Inlined Event.__init__: process churn (spawn/finish) is a hot
+        # path, so the bootstrap avoids every avoidable call and format.
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self._callbacks: object = _NO_CALLBACKS
+        self._value: object = _PENDING
+        self._exception = None
+        self._defused = False
         self._generator = generator
         self._waiting_on: Optional[Event] = None
+        #: The bound resume method, created once — appending/removing it
+        #: from event callback lists is the kernel's hottest wait path.
+        resume = self._resume_cb = self._resume
         # Bootstrap: resume the generator at time now.
-        initial = Event(sim, name=f"{self.name}.init")
-        initial.callbacks.append(self._resume)  # type: ignore[union-attr]
+        initial = Event.__new__(Event)
+        initial.sim = sim
+        initial.name = self.name
+        initial._callbacks = [resume]
         initial._value = None
-        sim.schedule(initial, delay=0.0)
+        initial._exception = None
+        initial._defused = False
+        seq = sim._sequence
+        sim._sequence = seq + 1
+        heappush(sim._queue, (sim.clock._now, seq, initial))
 
     @property
     def is_alive(self) -> bool:
@@ -53,8 +72,8 @@ class Process(Event):
         wakeup._exception = Interrupt(cause)
         wakeup._value = None
         wakeup._defused = True
-        wakeup.callbacks.append(self._resume)  # type: ignore[union-attr]
-        self.sim.schedule(wakeup, delay=0.0)
+        wakeup._callbacks = [self._resume_cb]
+        self.sim._schedule_now(wakeup)
 
     def kill(self) -> None:
         """Terminate the process immediately without running more of its body.
@@ -72,21 +91,22 @@ class Process(Event):
         self._detach_from_waiting()
         self._generator.close()
         self._value = None
-        self.sim.schedule(self, delay=0.0)
+        self.sim._schedule_now(self)
         if isinstance(child, Process) and child.is_alive:
             child.kill()
 
     def _detach_from_waiting(self) -> None:
-        if self._waiting_on is not None and self._waiting_on.callbacks is not None:
+        waiting = self._waiting_on
+        if waiting is not None and waiting.callbacks is not None:
             try:
-                self._waiting_on.callbacks.remove(self._resume)
+                waiting.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
         self._waiting_on = None
 
     def _resume(self, event: Event) -> None:
-        if self.triggered:
-            return
+        if self._value is not _PENDING or self._exception is not None:
+            return  # already triggered (killed/finished)
         self._waiting_on = None
         try:
             if event._exception is not None:
@@ -96,24 +116,28 @@ class Process(Event):
                 target = self._generator.send(event._value)
         except StopIteration as stop:
             self._value = stop.value
-            self.sim.schedule(self, delay=0.0)
+            sim = self.sim
+            seq = sim._sequence
+            sim._sequence = seq + 1
+            heappush(sim._queue, (sim.clock._now, seq, self))
             return
         except ProcessKilled:
             self._value = None
-            self.sim.schedule(self, delay=0.0)
+            self.sim._schedule_now(self)
             return
         except BaseException as exc:
             # The process body raised: propagate through the process event so
             # waiters see it; if nobody waits, the kernel surfaces it.
             self._exception = exc
             self._value = None
-            self.sim.schedule(self, delay=0.0)
+            self.sim._schedule_now(self)
             return
         if not isinstance(target, Event):
             raise TypeError(
                 f"process {self.name!r} yielded {target!r}; processes must yield Event objects"
             )
-        if target.processed:
+        target_callbacks = target._callbacks
+        if target_callbacks is None:
             # The event already happened (e.g. succeeded in an earlier run):
             # resume immediately with its recorded outcome.
             immediate = Event(self.sim, name=f"{self.name}.immediate")
@@ -121,8 +145,11 @@ class Process(Event):
             immediate._exception = target._exception
             if target._exception is not None:
                 immediate._defused = True
-            immediate.callbacks.append(self._resume)  # type: ignore[union-attr]
-            self.sim.schedule(immediate, delay=0.0)
+            immediate._callbacks = [self._resume_cb]
+            self.sim._schedule_now(immediate)
         else:
             self._waiting_on = target
-            target.callbacks.append(self._resume)  # type: ignore[union-attr]
+            if target_callbacks is _NO_CALLBACKS:
+                target._callbacks = [self._resume_cb]
+            else:
+                target_callbacks.append(self._resume_cb)

@@ -16,7 +16,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional
 from repro.sim.simtime import SimClock
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One trace entry.
 
@@ -44,24 +44,42 @@ class TraceRecord:
 
 
 class Trace:
-    """Append-only list of :class:`TraceRecord` with query helpers."""
+    """Append-only list of :class:`TraceRecord` with query helpers.
+
+    ``enabled`` is the cached emit gate: hot callers may read it once and
+    skip building keyword payloads entirely, and :meth:`emit` itself
+    short-circuits before constructing a record.  Disabling the trace
+    changes simulated behaviour wherever log *volume* matters (staged log
+    files measure their trace slice), so the flag defaults to on and is a
+    deliberate, per-run decision.
+    """
 
     def __init__(self, clock: Optional[SimClock] = None) -> None:
         self.clock = clock
         self.records: List[TraceRecord] = []
+        #: Cached emit gate — see the class docstring before turning off.
+        self.enabled = True
         self._subscribers: List[Callable[[TraceRecord], None]] = []
+        #: Immutable snapshot iterated per emit; rebuilt on (un)subscribe so
+        #: the hot path never copies the subscriber list.
+        self._subscriber_snapshot: tuple = ()
 
-    def emit(self, source: str, kind: str, **detail: Any) -> TraceRecord:
+    def emit(self, source: str, kind: str, **detail: Any) -> Optional[TraceRecord]:
         """Append a record stamped with the current simulated time.
 
-        A subscriber that raises does not corrupt the run: the exception
-        is captured as a ``trace.subscriber_error`` record (the metrics
-        layer subscribes here — a bad callback must not kill a mission).
+        Returns ``None`` without recording anything when the trace is
+        disabled.  A subscriber that raises does not corrupt the run: the
+        exception is captured as a ``trace.subscriber_error`` record (the
+        metrics layer subscribes here — a bad callback must not kill a
+        mission).
         """
-        time = self.clock.now if self.clock is not None else 0.0
-        record = TraceRecord(time=time, source=source, kind=kind, detail=detail)
+        if not self.enabled:
+            return None
+        clock = self.clock
+        time = clock._now if clock is not None else 0.0
+        record = TraceRecord(time, source, kind, detail)
         self.records.append(record)
-        for subscriber in list(self._subscribers):
+        for subscriber in self._subscriber_snapshot:
             try:
                 subscriber(record)
             except Exception as exc:
@@ -86,6 +104,7 @@ class Trace:
     def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
         """Call ``callback`` for every future record."""
         self._subscribers.append(callback)
+        self._subscriber_snapshot = tuple(self._subscribers)
 
     def unsubscribe(self, callback: Callable[[TraceRecord], None]) -> None:
         """Stop calling ``callback``; unknown callbacks are ignored."""
@@ -93,6 +112,7 @@ class Trace:
             self._subscribers.remove(callback)
         except ValueError:
             pass
+        self._subscriber_snapshot = tuple(self._subscribers)
 
     def select(
         self,

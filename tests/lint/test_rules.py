@@ -305,12 +305,101 @@ class TestNoPrint:
         assert found == []
 
 
+class TestNoHotPathAlloc:
+    KERNEL_PATH = "src/repro/sim/kernel.py"
+
+    def test_fires_on_list_literal_in_run(self):
+        found = findings_for(
+            """
+            class Simulation:
+                def run(self, until=None):
+                    batch = []
+                    batch.append(1)
+            """,
+            rule="no-hot-path-alloc",
+            path=self.KERNEL_PATH,
+        )
+        assert rule_ids(found) == ["no-hot-path-alloc"]
+
+    def test_fires_on_lambda_and_dict_in_step(self):
+        found = findings_for(
+            """
+            class Simulation:
+                def step(self):
+                    hook = lambda evt: None
+                    extra = {"when": 0.0}
+            """,
+            rule="no-hot-path-alloc",
+            path=self.KERNEL_PATH,
+        )
+        assert sorted(rule_ids(found)) == ["no-hot-path-alloc", "no-hot-path-alloc"]
+
+    def test_fires_on_comprehension_in_schedule(self):
+        found = findings_for(
+            """
+            class Simulation:
+                def schedule(self, event, delay=0.0):
+                    pending = [e for e in self._queue]
+            """,
+            rule="no-hot-path-alloc",
+            path=self.KERNEL_PATH,
+        )
+        assert rule_ids(found) == ["no-hot-path-alloc"]
+
+    def test_quiet_outside_hot_functions(self):
+        found = findings_for(
+            """
+            class Simulation:
+                def schedule_many(self, delays):
+                    batch = list(delays)
+                    return [d for d in batch]
+
+                def call_at(self, when, func):
+                    return lambda: func()
+            """,
+            rule="no-hot-path-alloc",
+            path=self.KERNEL_PATH,
+        )
+        assert found == []
+
+    def test_quiet_outside_kernel_module(self):
+        found = findings_for(
+            """
+            def run():
+                return [1, 2, 3]
+            """,
+            rule="no-hot-path-alloc",
+            path="src/repro/fleet/runner.py",
+        )
+        assert found == []
+
+    def test_inline_suppression(self):
+        found = findings_for(
+            """
+            class Simulation:
+                def step(self):
+                    debug = []  # repro-lint: disable=no-hot-path-alloc
+            """,
+            rule="no-hot-path-alloc",
+            path=self.KERNEL_PATH,
+        )
+        assert found == []
+
+    def test_shipped_kernel_is_clean(self):
+        import pathlib
+
+        source = pathlib.Path("src/repro/sim/kernel.py").read_text(encoding="utf-8")
+        found = findings_for(source, rule="no-hot-path-alloc",
+                             path="src/repro/sim/kernel.py")
+        assert found == []
+
+
 class TestRegistry:
-    def test_all_seven_rules_registered(self):
+    def test_all_shipped_rules_registered(self):
         expected = {
             "wall-clock", "rng-discipline", "float-equality",
             "mutable-default", "silent-except", "yield-discipline",
-            "no-print",
+            "no-print", "no-hot-path-alloc",
         }
         assert expected <= set(RULE_REGISTRY)
 
