@@ -23,7 +23,7 @@ from typing import List, Optional
 
 from repro.analysis.report import format_table
 from repro.core import Deployment, DeploymentConfig
-from repro.core.config import StationConfig
+from repro.core.config import StationConfig, reference_defaults
 from repro.server.archive import ScienceArchive
 from repro.sim.simtime import DAY
 
@@ -45,6 +45,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the base station's solar rating")
         p.add_argument("--override", type=int, default=None, choices=(0, 1, 2, 3),
                        help="server-side manual power-state override")
+        p.add_argument("--energy-mode", choices=("fixed", "adaptive"),
+                       default="adaptive",
+                       help="power-bus integrator: event-driven 'adaptive' "
+                            "(default) or the original fixed-step sampler")
+        p.add_argument("--energy-step-s", type=float, default=None,
+                       help="fixed-mode sampling step / adaptive planning "
+                            "grid, seconds (default: 300)")
         p.add_argument("--metrics-out", metavar="FILE", default=None,
                        help="write metrics after the run (.json = JSON dump, "
                             "anything else = Prometheus text)")
@@ -112,11 +119,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _build_deployment(args) -> Deployment:
     base = StationConfig()
+    reference = reference_defaults()
     if args.no_wind:
         base.wind_w = 0.0
     if args.solar_w is not None:
         base.solar_w = args.solar_w
-    deployment = Deployment(DeploymentConfig(seed=args.seed, base=base))
+    for config in (base, reference):
+        config.energy_mode = getattr(args, "energy_mode", "adaptive")
+        if getattr(args, "energy_step_s", None) is not None:
+            config.energy_step_s = args.energy_step_s
+    deployment = Deployment(DeploymentConfig(seed=args.seed, base=base,
+                                             reference=reference))
     if args.override is not None:
         deployment.set_manual_override(args.override)
     if getattr(args, "spans_out", None):

@@ -59,6 +59,14 @@ class Modem:
         self.connect_attempts = 0
         self.connect_failures = 0
         self.drops = 0
+        self._drop_rng = sim.rng.stream(f"{name}.drops")
+        metrics = sim.obs.metrics
+        self._m_connect_ok = metrics.counter("modem_connects_total",
+                                             modem=name, result="ok")
+        self._m_connect_failed = metrics.counter("modem_connects_total",
+                                                 modem=name, result="failed")
+        self._m_drops = metrics.counter("modem_drops_total", modem=name)
+        self._m_sent = metrics.counter("modem_sent_bytes_total", modem=name)
 
     # ------------------------------------------------------------------
     # Failure model hooks (subclasses override)
@@ -85,12 +93,11 @@ class Modem:
         yield self.sim.timeout(self.connect_s)
         if not self.available(self.sim.now):
             self.connect_failures += 1
-            self.sim.obs.metrics.inc("modem_connects_total",
-                                     modem=self.name, result="failed")
+            self._m_connect_failed.inc()
             self.sim.trace.emit(self.name, "connect_failed")
             raise LinkDown(f"{self.name}: network unavailable")
         self.connected = True
-        self.sim.obs.metrics.inc("modem_connects_total", modem=self.name, result="ok")
+        self._m_connect_ok.inc()
         self.sim.trace.emit(self.name, "connected")
 
     def disconnect(self) -> None:
@@ -116,7 +123,7 @@ class Modem:
         if not self.connected:
             raise LinkDown(f"{self.name}: not connected")
         remaining_s = self.transfer_time_s(nbytes)
-        rng = self.sim.rng.stream(f"{self.name}.drops")
+        rng = self._drop_rng
         while remaining_s > 0:
             step = min(self.chunk_s, remaining_s)
             yield self.sim.timeout(step)
@@ -125,9 +132,9 @@ class Modem:
             if hazard > 0 and rng.random() < 1.0 - (1.0 - hazard) ** step:
                 self.connected = False
                 self.drops += 1
-                self.sim.obs.metrics.inc("modem_drops_total", modem=self.name)
+                self._m_drops.inc()
                 self.sim.trace.emit(self.name, "link_drop", label=label)
                 raise LinkDown(f"{self.name}: dropped during {label or 'transfer'}")
         self.bytes_sent_total += nbytes
-        self.sim.obs.metrics.inc("modem_sent_bytes_total", nbytes, modem=self.name)
+        self._m_sent.inc(nbytes)
         self.sim.trace.emit(self.name, "sent", nbytes=nbytes, label=label)

@@ -75,6 +75,10 @@ class ProbeRadioLink:
         self.packets_sent = 0
         self.packets_lost = 0
         self.packets_broken = 0
+        metrics = sim.obs.metrics
+        self._m_lost = metrics.counter("probe_frames_total", result="lost")
+        self._m_crc = metrics.counter("probe_frames_total", result="crc_fail")
+        self._m_ok = metrics.counter("probe_frames_total", result="delivered")
 
     def packet_time_s(self, payload_bytes: int) -> float:
         """Airtime for one packet including framing and turnaround."""
@@ -98,16 +102,15 @@ class ProbeRadioLink:
         """Process: send one packet; returns a :class:`PacketOutcome`."""
         yield self.sim.timeout(self.packet_time_s(payload_bytes))
         self.packets_sent += 1
-        metrics = self.sim.obs.metrics
         if self._rng.random() < self.current_loss():
             self.packets_lost += 1
-            metrics.inc("probe_frames_total", result="lost")
+            self._m_lost.inc()
             return PacketOutcome.LOST
         if self._rng.random() < self.corruption_probability:
             self.packets_broken += 1
-            metrics.inc("probe_frames_total", result="crc_fail")
+            self._m_crc.inc()
             return PacketOutcome.BROKEN
-        metrics.inc("probe_frames_total", result="delivered")
+        self._m_ok.inc()
         return PacketOutcome.DELIVERED
 
     @property

@@ -77,6 +77,14 @@ class StationConfig:
     log_bytes_per_reading: float = 400.0
     #: Fixed daily log overhead, bytes.
     log_base_bytes: int = 4096
+    #: Energy integrator: ``"adaptive"`` (event-driven crossing prediction,
+    #: default) or ``"fixed"`` (the original 300 s sampling tick) — kept
+    #: selectable so A/B validation stays one flag away.
+    energy_mode: str = "adaptive"
+    #: Fixed-mode integration step; also the adaptive planner's scan grid.
+    energy_step_s: float = 300.0
+    #: Adaptive mode: longest allowed gap between bus syncs, seconds.
+    energy_max_step_s: float = 21600.0
 
 
 def reference_defaults(name: str = "reference") -> StationConfig:

@@ -82,7 +82,9 @@ class Station:
 
         # --- power ---
         self.bus = PowerBus(sim, Battery(config.battery, soc=config.initial_soc),
-                            name=f"{name}.power")
+                            name=f"{name}.power", step_s=config.energy_step_s,
+                            mode=config.energy_mode,
+                            max_step_s=config.energy_max_step_s)
         if config.solar_w > 0:
             self.bus.add_source(SolarPanel(weather, rated_w=config.solar_w,
                                            name=f"{name}.solar"))
@@ -137,6 +139,13 @@ class Station:
             ntp_fallback=config.ntp_fallback, gprs_modem=self.modem,
         )
         self.policy = PowerPolicy()
+        # Table II threshold subscription: the bus predicts and flags the
+        # power-state voltage edges (event-driven) instead of the thresholds
+        # only ever being compared against polled samples.  Daily power-state
+        # *decisions* still use the daily-average voltage, as deployed.
+        for state, spec in sorted(self.policy.table.items()):
+            if spec.min_threshold_v is not None:
+                self.bus.watch_voltage(spec.min_threshold_v, f"state{int(state)}")
 
         # --- control state ---
         self.local_state = PowerState.S3

@@ -1,26 +1,68 @@
 """The power bus: battery + sources + loads, integrated over time.
 
 The bus owns the station's battery, its charging sources and its
-:class:`~repro.energy.loads.LoadSet`.  A background process samples the
-sources on a fixed step; load switches trigger an exact sub-step
-integration first, so per-load energy accounting is exact for
-piecewise-constant loads.
-
-The bus also raises the two life-cycle edges the rest of the system hooks:
+:class:`~repro.energy.loads.LoadSet`, and raises the two life-cycle edges
+the rest of the system hooks:
 
 - **brown-out** — the battery reached exhaustion; the MSP430 loses its RAM
   schedule and the RTC resets (Section IV of the paper);
 - **recovery** — external charging has restored enough charge to restart.
+
+Two integration modes:
+
+**fixed** — the original scheme: a background process samples the sources
+every ``step_s`` seconds (right-rectangle integration); load switches
+trigger an exact sub-step integration first, so per-load energy accounting
+is exact for piecewise-constant loads.
+
+**adaptive** (default) — event-driven: between syncs nothing is sampled.
+The planner predicts the next *interesting* instant — the earliest of a
+predicted battery crossing (registered voltage watch, brown-out or
+recovery SoC), or ``max_step_s`` — and sleeps until then.  A load switch
+syncs exactly at the toggle and invalidates the plan.  Interval source
+energy comes from :meth:`~repro.energy.sources.PowerSource.energy_j`
+(analytic for solar, cached quadrature for wind), so skipping a quiet
+six-hour stretch costs one evaluation, not 72 ticks.
+
+Crossing prediction scans the horizon on a coarse grid of interval
+energies, brackets the first side-change of any target observable, and
+bisects to ~1 s.  Predictions are checked when they fire:
+``energy_crossings_predicted_total`` counts planned crossing syncs and
+``energy_prediction_misses_total`` the ones where the observable was not
+actually at the threshold (weather gusts move the IR term between plan
+and fire).  ``energy_syncs_total{station,reason}`` counts integrations in
+both modes — the ≥10× event reduction the endurance benchmark pins.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
 
 from repro.energy.battery import Battery
 from repro.energy.loads import Load, LoadSet
 from repro.energy.sources import PowerSource
 from repro.sim.kernel import Simulation
+
+#: Histogram bucket bounds for the net-power distribution, watts.
+_NET_POWER_BUCKETS = (-50.0, -20.0, -10.0, -5.0, -2.0, -1.0, 0.0,
+                      1.0, 2.0, 5.0, 10.0, 20.0, 50.0)
+
+
+@dataclass
+class VoltageWatch:
+    """A terminal-voltage threshold the bus predicts and flags.
+
+    The bus emits a ``power_edge`` trace record (and calls ``callback``
+    with ``"rising"`` or ``"falling"``) whenever a sync observes the
+    voltage on the other side of ``volts`` from the previous sync.  In
+    adaptive mode the watch is also a planning target: the bus schedules a
+    sync at the predicted crossing instant.
+    """
+
+    volts: float
+    label: str
+    callback: Optional[Callable[[str], None]] = None
 
 
 class PowerBus:
@@ -35,9 +77,23 @@ class PowerBus:
     name:
         Prefix for trace records (e.g. ``"base.power"``).
     step_s:
-        Sampling step for the background integration process.  300 s keeps
-        year-long runs fast while resolving the diurnal solar curve.
+        Fixed-mode sampling step; also the adaptive planner's scan grid.
+        300 s keeps year-long fixed runs fast while resolving the diurnal
+        solar curve.
+    mode:
+        ``"adaptive"`` (event-driven, default) or ``"fixed"``.
+    max_step_s:
+        Adaptive mode: the longest the bus will sleep without a sync, even
+        with no crossing predicted.  Bounds prediction staleness.
     """
+
+    #: Adaptive planner never reschedules tighter than this (livelock guard).
+    MIN_REPLAN_S = 1.0
+    #: Bisection width at which a predicted crossing is considered located.
+    CROSSING_TOLERANCE_S = 1.0
+    #: A fired crossing counts as a hit if the observable is within these.
+    PREDICT_TOLERANCE_V = 0.05
+    PREDICT_TOLERANCE_SOC = 0.005
 
     def __init__(
         self,
@@ -45,23 +101,63 @@ class PowerBus:
         battery: Battery,
         name: str = "power",
         step_s: float = 300.0,
+        mode: str = "adaptive",
+        max_step_s: float = 21600.0,
     ) -> None:
         if step_s <= 0:
             raise ValueError("step_s must be > 0")
+        if mode not in ("fixed", "adaptive"):
+            raise ValueError(f"mode must be 'fixed' or 'adaptive', got {mode!r}")
+        if max_step_s <= 0:
+            raise ValueError("max_step_s must be > 0")
         self.sim = sim
         self.battery = battery
         self.name = name
         #: Station label for metrics (``"base.power"`` -> ``"base"``).
         self._station = name.split(".")[0]
         self.step_s = step_s
+        self.mode = mode
+        self.max_step_s = max_step_s
         self.loads = LoadSet()
         self.sources: List[PowerSource] = []
         self._last_sync = sim.now
         self._was_exhausted = battery.is_exhausted
         self.on_brownout: List[Callable[[], None]] = []
         self.on_recovery: List[Callable[[], None]] = []
-        self.loads.subscribe(lambda _load: self.sync())
-        self._process = sim.process(self._run(), name=f"{name}.integrator")
+        self._watches: List[VoltageWatch] = []
+        self._prev_voltage: Optional[float] = None
+        self._fired_edges: List[str] = []
+        self._wake = None
+        self._deadline: Optional[float] = None
+        #: Cached :meth:`_peak_source_w` result (sources are fixed after
+        #: wiring; :meth:`add_source` invalidates).
+        self._peak_w: Optional[float] = None
+        self._peak_w_known = False
+        #: Deferred load accounting (adaptive mode): per-load energy is
+        #: booked segment by segment as loads toggle, so a toggle does not
+        #: force a full integration.  ``_load_j`` is the battery drain
+        #: accumulated since the last sync; ``_acct_time`` the instant the
+        #: books are balanced to.
+        self._acct_time = sim.now
+        self._load_j = 0.0
+        # Planning scan grid: the weather's stochastic texture is linearly
+        # interpolated between 3-hour noise blocks, so nothing in the source
+        # curve wiggles faster than ~30 minutes; scanning coarser than the
+        # integration step is safe because brackets are bisected afterwards.
+        plan_step = max(step_s, 1800.0)
+        self._plan_cells = max(4, min(96, int(round(max_step_s / plan_step))))
+        metrics = sim.obs.metrics
+        self._m_soc = metrics.gauge("battery_soc", station=self._station)
+        self._m_volts = metrics.gauge("battery_voltage_v", station=self._station)
+        self._m_net = metrics.histogram("battery_net_power_w",
+                                        buckets=_NET_POWER_BUCKETS,
+                                        station=self._station)
+        self._m_syncs = {}  # reason -> Counter handle, filled on first use
+        self.loads.subscribe(self._on_load_switch)
+        if mode == "fixed":
+            self._process = sim.process(self._run_fixed(), name=f"{name}.integrator")
+        else:
+            self._process = sim.process(self._run_adaptive(), name=f"{name}.integrator")
 
     # ------------------------------------------------------------------
     # Configuration
@@ -69,11 +165,27 @@ class PowerBus:
     def add_source(self, source: PowerSource) -> PowerSource:
         """Attach a charging source."""
         self.sources.append(source)
+        self._peak_w_known = False
         return source
 
     def add_load(self, name: str, power_w: float) -> Load:
         """Register a switchable load."""
         return self.loads.add(name, power_w)
+
+    def watch_voltage(self, volts: float, label: str,
+                      callback: Optional[Callable[[str], None]] = None) -> VoltageWatch:
+        """Subscribe to terminal-voltage crossings of ``volts``.
+
+        Replaces threshold *polling*: in adaptive mode the bus plans a sync
+        at the predicted crossing, so the edge is observed within
+        :attr:`CROSSING_TOLERANCE_S` of the model's true crossing instead
+        of at the next poll.  Works (edge detection only) in fixed mode
+        too, which keeps A/B comparisons symmetrical.
+        """
+        watch = VoltageWatch(volts=volts, label=label, callback=callback)
+        self._watches.append(watch)
+        self.invalidate()
+        return watch
 
     # ------------------------------------------------------------------
     # Observation
@@ -81,7 +193,10 @@ class PowerBus:
     def source_power(self, time: Optional[float] = None) -> float:
         """Combined source output in watts at ``time`` (default: now)."""
         when = self.sim.now if time is None else time
-        return sum(source.power_w(when) for source in self.sources)
+        total = 0.0
+        for source in self.sources:
+            total += source.power_w(when)
+        return total
 
     def load_power(self) -> float:
         """Combined draw of switched-on loads in watts."""
@@ -92,48 +207,140 @@ class PowerBus:
         return self.source_power() - self.load_power()
 
     def terminal_voltage(self) -> float:
-        """Battery terminal voltage right now — what the MSP430's ADC sees."""
-        self.sync()
-        return self.battery.terminal_voltage(self.net_power())
+        """Battery terminal voltage right now — what the MSP430's ADC sees.
+
+        Fixed mode syncs first (a read is a sample point).  Adaptive mode
+        answers *predictively* — state of charge projected from the last
+        sync through the interval source energies — so an ADC read does
+        not force an integration event.
+        """
+        if self.mode == "fixed":
+            self.sync(reason="read")
+            return self.battery.terminal_voltage(self.net_power())
+        now = self.sim.now
+        dt = now - self._last_sync
+        if dt <= 0:
+            return self.battery.terminal_voltage(self.net_power())
+        energy = 0.0
+        for source in self.sources:
+            energy += source.energy_j(self._last_sync, now)
+        drained_j = self._load_j
+        if not self.battery.is_exhausted:
+            drained_j += self.loads.total_power() * (now - self._acct_time)
+        soc = self.battery.predicted_soc(dt, drained_j / dt, energy)
+        return self.battery.terminal_voltage_at(soc, self.net_power())
 
     # ------------------------------------------------------------------
     # Integration
     # ------------------------------------------------------------------
-    def sync(self) -> None:
-        """Integrate battery and per-load energy up to the current instant."""
+    def sync(self, reason: str = "read") -> None:
+        """Integrate battery and per-load energy up to the current instant.
+
+        Idempotent at a single timestamp: a second call at the same
+        ``sim.now`` integrates nothing (no double-booked sub-step when a
+        load toggles exactly on a sample boundary) but still re-checks the
+        brown-out/recovery edges, so state changes made *between* two
+        same-instant calls (e.g. a lump :meth:`drain_j`) are observed.
+        """
         now = self.sim.now
+        if self.mode != "fixed":
+            self._account_loads(now)
         dt = now - self._last_sync
         if dt <= 0:
+            self._check_edges()
             return
         self._last_sync = now
         exhausted_before = self.battery.is_exhausted
         load_w = self.loads.total_power()
-        source_w = self.source_power(now)
-        self.battery.apply(dt, load_w=load_w, source_w=source_w)
-        if not exhausted_before:
-            for load in self.loads:
-                load.energy_j += load.current_power() * dt
-        for source in self.sources:
-            source.energy_j += source.power_w(now) * dt
-        metrics = self.sim.obs.metrics
-        metrics.set_gauge("battery_soc", self.battery.soc, station=self._station)
-        metrics.set_gauge(
-            "battery_voltage_v",
-            self.battery.terminal_voltage(source_w - load_w),
-            station=self._station,
-        )
-        metrics.observe(
-            "battery_net_power_w", source_w - load_w,
-            buckets=(-50.0, -20.0, -10.0, -5.0, -2.0, -1.0, 0.0,
-                     1.0, 2.0, 5.0, 10.0, 20.0, 50.0),
-            station=self._station,
-        )
+        if self.mode == "fixed":
+            source_w = self.source_power(now)
+            self.battery.apply(dt, load_w=load_w, source_w=source_w)
+            for source in self.sources:
+                source.delivered_j += source.power_w(now) * dt
+            inst_net_w = source_w - load_w
+            if not exhausted_before:
+                for load in self.loads:
+                    load.energy_j += load.current_power() * dt
+        else:
+            source_energy = 0.0
+            for source in self.sources:
+                delivered = max(0.0, source.energy_j(now - dt, now))
+                source.delivered_j += delivered
+                source_energy += delivered
+            load_j = self._load_j
+            self._load_j = 0.0
+            self.battery.apply(dt, load_w=load_j / dt, source_w=source_energy / dt)
+            inst_net_w = self.source_power(now) - load_w
+        voltage = self.battery.terminal_voltage(inst_net_w)
+        self._m_soc.set(self.battery.soc)
+        self._m_volts.set(voltage)
+        self._m_net.observe(inst_net_w)
+        counter = self._m_syncs.get(reason)
+        if counter is None:
+            counter = self.sim.obs.metrics.counter(
+                "energy_syncs_total", station=self._station, reason=reason)
+            self._m_syncs[reason] = counter
+        counter.inc()
+        self._fired_edges.clear()
+        self._update_watches(voltage)
         self._check_edges()
+
+    def drain_j(self, energy_j: float) -> None:
+        """Withdraw a lump of energy through the bus, sync-bracketed.
+
+        The energy-conservation lint rule points here: draining the battery
+        directly between syncs would charge the loss against the wrong
+        interval and skip the brown-out edge check.  This integrates up to
+        now, books the withdrawal, re-checks edges and (adaptive mode)
+        invalidates the crossing prediction.
+        """
+        self.sync(reason="read")
+        self.battery.drain_j(energy_j)
+        self._check_edges()
+        self.invalidate()
+
+    def invalidate(self) -> None:
+        """Drop the adaptive planner's prediction and re-plan immediately.
+
+        Needed whenever the future source/load trajectory changes in a way
+        the bus cannot see — a test mutating ``ConstantSource.watts``, a
+        rewired availability callable.  Load switches through
+        :class:`~repro.energy.loads.LoadSet` invalidate automatically.
+        No-op in fixed mode.
+        """
+        wake = self._wake
+        if wake is not None and not wake.triggered:
+            wake.succeed()
+
+    # ------------------------------------------------------------------
+    # Edges
+    # ------------------------------------------------------------------
+    def _update_watches(self, voltage: float) -> None:
+        previous = self._prev_voltage
+        self._prev_voltage = voltage
+        if previous is None:
+            return
+        for watch in self._watches:
+            if previous < watch.volts <= voltage:
+                direction = "rising"
+            elif voltage < watch.volts <= previous:
+                direction = "falling"
+            else:
+                continue
+            self._fired_edges.append(watch.label)
+            self.sim.obs.metrics.inc("power_threshold_crossings_total",
+                                     station=self._station, label=watch.label,
+                                     direction=direction)
+            self.sim.trace.emit(self.name, "power_edge", label=watch.label,
+                                direction=direction, volts=voltage)
+            if watch.callback is not None:
+                watch.callback(direction)
 
     def _check_edges(self) -> None:
         exhausted = self.battery.is_exhausted
         if exhausted and not self._was_exhausted:
             self._was_exhausted = True
+            self._fired_edges.append("brownout")
             self.sim.obs.metrics.inc("power_brownouts_total", station=self._station)
             self.sim.trace.emit(self.name, "brownout", soc=self.battery.soc)
             self.loads.all_off()
@@ -141,12 +348,348 @@ class PowerBus:
                 callback()
         elif self._was_exhausted and self.battery.can_restart:
             self._was_exhausted = False
+            self._fired_edges.append("recovery")
             self.sim.obs.metrics.inc("power_recoveries_total", station=self._station)
             self.sim.trace.emit(self.name, "recovery", soc=self.battery.soc)
             for callback in list(self.on_recovery):
                 callback()
 
-    def _run(self):
+    def _on_load_switch(self, _load: Load) -> None:
+        if self.mode == "fixed":
+            self.sync(reason="load_switch")
+            return
+        # Adaptive: balance the per-load books at the toggle (the subscriber
+        # fires *before* the switch flips, so the closing segment is booked
+        # at the old power) but defer the battery integration.  Only when
+        # the new load level could drive a target across its threshold
+        # before the already-scheduled deadline does the planner wake — and
+        # its wake path syncs at this same instant, exactly like the old
+        # sync-per-toggle scheme, so nothing behavioural is lost.
+        self._account_loads(self.sim.now)
+        if not self._deadline_safe():
+            self.invalidate()
+
+    def _account_loads(self, now: float) -> None:
+        """Book per-load energy for the segment since the last booking.
+
+        Loads are piecewise constant, so booking each inter-toggle segment
+        at its (constant) power is exact; ``_load_j`` carries the summed
+        battery drain into the next :meth:`sync`.  Booking is skipped while
+        the battery is exhausted — mirroring the ``exhausted_before`` gate
+        of the fixed path (exhaustion only changes state inside a sync, so
+        the flag is constant across the segment).
+        """
+        dt = now - self._acct_time
+        if dt <= 0:
+            return
+        self._acct_time = now
+        if self.battery.is_exhausted:
+            return
+        total_w = 0.0
+        for load in self.loads:
+            power = load.current_power()
+            if power:
+                load.energy_j += power * dt
+                total_w += power
+        self._load_j += total_w * dt
+
+    def _peak_source_w(self) -> Optional[float]:
+        """Upper bound on combined source output, or ``None`` if unknown.
+
+        Every stock source is capped by its ``rated_w`` (``watts`` for
+        :class:`~repro.energy.sources.ConstantSource`); an exotic source
+        without either attribute — or a negative constant — defeats the
+        bound and the bus falls back to always re-planning.
+        """
+        if self._peak_w_known:
+            return self._peak_w
+        total = 0.0
+        for source in self.sources:
+            cap = getattr(source, "rated_w", None)
+            if cap is None:
+                cap = getattr(source, "watts", None)
+            if cap is None or cap < 0.0:
+                total = None
+                break
+            total += cap
+        self._peak_w = total
+        self._peak_w_known = True
+        return total
+
+    def _deadline_safe(self) -> bool:
+        """Can the current plan survive this load switch un-replanned?
+
+        Source power lies in ``[0, peak]``, so the trajectories under the
+        two constant extremes bracket every reachable SoC/voltage pointwise:
+        ``source_w = 0`` is the soonest any falling target (brown-out, a
+        voltage sag) can be reached, ``source_w = peak`` the soonest any
+        rising one (recovery, a voltage rise) can.  If even those bounds
+        land beyond the already-scheduled deadline, the pending sync fires
+        first anyway and the (expensive) re-plan is skipped.
+        """
+        deadline = self._deadline
+        if deadline is None or self._wake is None:
+            return False
+        now = self.sim.now
+        remaining = deadline - now
+        if remaining <= self.MIN_REPLAN_S:
+            return True  # the pending sync fires now-ish regardless
+        peak_w = self._peak_source_w()
+        if peak_w is None:
+            return False
+        battery = self.battery
+        cfg = battery.config
+        capacity_j = cfg.capacity_j
+        # The battery's stored state is stale (last integrated at
+        # ``_last_sync``); bound the *current* SoC instead of trusting it.
+        # ``_load_j`` holds the full drain since then (the books were just
+        # balanced to ``now``), sources only ever add charge, so:
+        exhausted = battery.is_exhausted
+        soc_lo = max(0.0, battery.soc - self._load_j / capacity_j)
+        charge_w = peak_w * cfg.charge_efficiency
+        elapsed = now - self._last_sync
+        soc_hi = min(1.0, battery.soc + charge_w * elapsed / capacity_j)
+        load_w = 0.0 if exhausted else self.loads.total_power()
+        fall_w = load_w                       # fastest possible SoC drain
+        rise_w = max(0.0, charge_w - load_w)  # fastest possible SoC rise
+        # Only the *behavioural* edges are guarded: brown-out and recovery
+        # change system state the instant they are observed, so the bus
+        # must provably be unable to reach them before the pending sync.
+        # Voltage watches are observational (trace + metrics, no state);
+        # their planned crossings are best-effort under the trajectory at
+        # plan time, and a watch crossing provoked by an unplanned load
+        # change is simply observed at the next sync.  Guarding them here
+        # would defeat the skip entirely — the IR term alone moves the
+        # terminal voltage by ±peak·R/V_nom, which straddles every watch
+        # threshold whenever the source can swing from calm to storm.
+        for kind, _label, value in self._plan_targets():
+            if kind == "brownout":
+                if soc_lo <= value:
+                    return False
+                if fall_w > 0.0 and (soc_lo - value) * capacity_j < remaining * fall_w:
+                    return False
+            elif kind == "recovery":
+                if soc_hi >= value:
+                    return False
+                if rise_w > 0.0 and (value - soc_hi) * capacity_j < remaining * rise_w:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Background processes
+    # ------------------------------------------------------------------
+    def _run_fixed(self):
         while True:
             yield self.sim.timeout(self.step_s)
-            self.sync()
+            self.sync(reason="tick")
+
+    def _run_adaptive(self):
+        sim = self.sim
+        while True:
+            delay, reason, target = self._plan()
+            timer = sim.timeout(delay, name=f"{self.name}.deadline")
+            wake = sim.event(f"{self.name}.replan")
+            self._wake = wake
+            self._deadline = sim.now + delay
+            yield sim.any_of([timer, wake])
+            self._wake = None
+            self._deadline = None
+            if not timer.processed:
+                # Invalidated — integrate up to the triggering instant (the
+                # planner projects from the battery's stored state, so it
+                # must be fresh) and re-plan.  Wake-ups ride on the event
+                # that caused them, so this sync lands exactly at the
+                # unsafe load toggle / drain that fired it.
+                self.sync(reason="load_switch")
+                continue
+            self.sync(reason=reason)
+            if target is not None:
+                self._score_prediction(target)
+
+    # ------------------------------------------------------------------
+    # Planning (adaptive mode)
+    # ------------------------------------------------------------------
+    def _plan(self) -> Tuple[float, str, Optional[Tuple[str, str, float]]]:
+        """Pick the next sync: ``(delay, reason, target-or-None)``.
+
+        Scans the ``max_step_s`` horizon on a ``_plan_cells`` grid,
+        accumulating interval source energy cell by cell (O(1) per cell
+        once the weather day caches are warm), projecting SoC and terminal
+        voltage, and bracketing the first instant any target observable
+        changes side.  The bracket is bisected to
+        :attr:`CROSSING_TOLERANCE_S`.  Assumes the current load set; any
+        load switch re-plans.
+        """
+        targets = self._plan_targets()
+        horizon = self.max_step_s
+        if not targets:
+            return horizon, "max_step", None
+        peak_w = self._peak_source_w()
+        if peak_w is not None and self._targets_unreachable(targets, peak_w, horizon):
+            return horizon, "max_step", None
+        now = self.sim.now
+        battery = self.battery
+        load_w = self.loads.total_power()
+        sources = self.sources
+        # The battery model is inlined here (same arithmetic as
+        # Battery.predicted_soc / terminal_voltage_at): the scan runs on
+        # every re-plan and the call overhead dominates otherwise.
+        cfg = battery.config
+        capacity_j = cfg.capacity_j
+        efficiency = cfg.charge_efficiency
+        exhausted = battery.is_exhausted
+        soc0 = battery.soc
+        ocv_empty = cfg.ocv_empty
+        ocv_span = cfg.ocv_full - cfg.ocv_empty
+        ir_over_v = cfg.internal_resistance / cfg.nominal_voltage
+        clamp_v = cfg.max_terminal_voltage
+        step = horizon / self._plan_cells
+        energy_cum = 0.0
+        prev_t = now
+        prev_sides: Optional[List[bool]] = None
+        for _cell in range(self._plan_cells):
+            t = prev_t + step
+            cell_j = 0.0
+            for source in sources:
+                cell_j += source.energy_j(prev_t, t)
+            new_cum = energy_cum + cell_j
+            energy = soc0 * capacity_j + new_cum * efficiency
+            if not exhausted:
+                energy -= load_w * (t - now)
+            soc = energy / capacity_j
+            if soc > 1.0:
+                soc = 1.0
+            elif soc < 0.0:
+                soc = 0.0
+            mean_net_w = cell_j / step - load_w
+            ir_term = mean_net_w * ir_over_v
+            volts = ocv_empty + ocv_span * soc + ir_term
+            if volts > clamp_v:
+                volts = clamp_v
+            if prev_sides is None:
+                volts0 = min(clamp_v, ocv_empty + ocv_span * soc0 + ir_term)
+                prev_sides = [self._target_side(tg, soc0, volts0)
+                              for tg in targets]
+            for index, target in enumerate(targets):
+                side = self._target_side(target, soc, volts)
+                if side != prev_sides[index]:
+                    crossing = self._bisect_crossing(
+                        target, prev_sides[index], prev_t, t, energy_cum, load_w)
+                    delay = max(crossing - now, self.MIN_REPLAN_S)
+                    return delay, "crossing", target
+            energy_cum = new_cum
+            prev_t = t
+        return horizon, "max_step", None
+
+    def _targets_unreachable(
+        self,
+        targets: List[Tuple[str, str, float]],
+        peak_w: float,
+        horizon: float,
+    ) -> bool:
+        """Whether no target can change side anywhere in the horizon.
+
+        Same bracketing argument as :meth:`_deadline_safe` — source power
+        lies in ``[0, peak]``, so constant-extreme trajectories bound every
+        reachable SoC and terminal voltage pointwise.  When all targets
+        provably stay on their current side the expensive cell scan is
+        skipped; in practice this is the common case (a battery pegged near
+        full under light load cannot reach any threshold in six hours).
+        Unlike :meth:`_deadline_safe`, voltage watches *are* guarded here:
+        this only gates the scan of the very trajectory the plan would use,
+        so a skip can never lose a crossing the scan would have found.
+        """
+        battery = self.battery
+        cfg = battery.config
+        capacity_j = cfg.capacity_j
+        load_w = 0.0 if battery.is_exhausted else self.loads.total_power()
+        soc0 = battery.soc
+        soc_lo = max(0.0, soc0 - load_w * horizon / capacity_j)
+        soc_hi = min(1.0, soc0 + peak_w * cfg.charge_efficiency * horizon / capacity_j)
+        ocv_empty = cfg.ocv_empty
+        ocv_span = cfg.ocv_full - cfg.ocv_empty
+        ir_over_v = cfg.internal_resistance / cfg.nominal_voltage
+        clamp_v = cfg.max_terminal_voltage
+        volts_lo = min(clamp_v, ocv_empty + ocv_span * soc_lo - load_w * ir_over_v)
+        volts_hi = min(clamp_v, ocv_empty + ocv_span * soc_hi + peak_w * ir_over_v)
+        for kind, _label, value in targets:
+            if kind == "brownout":
+                if soc_lo <= value:
+                    return False
+            elif kind == "recovery":
+                if soc_hi >= value:
+                    return False
+            elif not (volts_lo >= value or volts_hi < value):
+                return False
+        return True
+
+    def _plan_targets(self) -> List[Tuple[str, str, float]]:
+        battery = self.battery
+        if battery.is_exhausted:
+            return [("recovery", "recovery", battery.config.recovery_soc)]
+        targets = [("brownout", "brownout", battery.config.brownout_soc)]
+        for watch in self._watches:
+            targets.append(("volts", watch.label, watch.volts))
+        return targets
+
+    @staticmethod
+    def _target_side(target: Tuple[str, str, float], soc: float, volts: float) -> bool:
+        """Which side of its threshold the target observable is on.
+
+        The side predicates mirror the edge detectors exactly:
+        brown-out fires at ``soc <= threshold`` (:attr:`Battery.is_exhausted`),
+        recovery at ``soc >= threshold`` (:attr:`Battery.can_restart`), and a
+        voltage watch changes side at ``volts >= threshold``
+        (:meth:`_update_watches`).
+        """
+        kind, _label, value = target
+        if kind == "brownout":
+            return soc > value
+        if kind == "recovery":
+            return soc >= value
+        return volts >= value
+
+    def _bisect_crossing(
+        self,
+        target: Tuple[str, str, float],
+        start_side: bool,
+        lo: float,
+        hi: float,
+        energy_at_lo: float,
+        load_w: float,
+    ) -> float:
+        """First instant in ``(lo, hi]`` where ``target`` sits on the new side."""
+        now = self.sim.now
+        battery = self.battery
+        sources = self.sources
+        while hi - lo > self.CROSSING_TOLERANCE_S:
+            mid = 0.5 * (lo + hi)
+            slice_j = 0.0
+            for source in sources:
+                slice_j += source.energy_j(lo, mid)
+            energy_mid = energy_at_lo + slice_j
+            soc = battery.predicted_soc(mid - now, load_w, energy_mid)
+            width = mid - lo
+            mean_net_w = (slice_j / width if width > 0 else 0.0) - load_w
+            volts = battery.terminal_voltage_at(soc, mean_net_w)
+            if self._target_side(target, soc, volts) == start_side:
+                lo = mid
+                energy_at_lo = energy_mid
+            else:
+                hi = mid
+        return hi
+
+    def _score_prediction(self, target: Tuple[str, str, float]) -> None:
+        """Account a fired crossing prediction as hit or miss."""
+        metrics = self.sim.obs.metrics
+        metrics.inc("energy_crossings_predicted_total", station=self._station)
+        kind, label, value = target
+        if label in self._fired_edges:
+            return  # the predicted edge actually fired at this sync
+        if kind == "volts":
+            observed = self._prev_voltage if self._prev_voltage is not None else 0.0
+            hit = abs(observed - value) <= self.PREDICT_TOLERANCE_V
+        else:
+            hit = abs(self.battery.soc - value) <= self.PREDICT_TOLERANCE_SOC
+        if not hit:
+            metrics.inc("energy_prediction_misses_total", station=self._station)

@@ -68,6 +68,8 @@ class GlacierModel:
         self.config = config or GlacierConfig()
         self.seed = int(seed)
         self._displacement_cache: List[float] = [0.0]
+        #: ``probe_id -> (gain, noise_stream)`` — both stable per id.
+        self._probe_cache: Dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     # Melt and conductivity
@@ -80,22 +82,29 @@ class GlacierModel:
         texture = 0.75 + 0.25 * _smooth_noise(self.seed, "melt", time)
         return min(1.0, seasonal * texture)
 
+    def _probe_terms(self, probe_id: int) -> tuple:
+        """Cached ``(gain, noise_stream)`` for one probe id."""
+        cached = self._probe_cache.get(probe_id)
+        if cached is None:
+            spread = self.config.conductivity_probe_spread
+            offset = 2.0 * _block_noise(self.seed, f"probe_gain:{probe_id}", 0) - 1.0
+            cached = (1.0 + spread * offset, f"cond:{probe_id}")
+            self._probe_cache[probe_id] = cached
+        return cached
+
     def _probe_gain(self, probe_id: int) -> float:
         """Per-probe sensitivity of conductivity to melt, stable per id."""
-        spread = self.config.conductivity_probe_spread
-        offset = 2.0 * _block_noise(self.seed, f"probe_gain:{probe_id}", 0) - 1.0
-        return 1.0 + spread * offset
+        return self._probe_terms(probe_id)[0]
 
     def conductivity_us(self, time: float, probe_id: int = 0) -> float:
         """Basal electrical conductivity at one probe, in µS (Fig 6 signal)."""
         cfg = self.config
+        gain, stream = self._probe_terms(probe_id)
         melt = self.melt_fraction(time)
         noise = cfg.conductivity_noise_us * (
-            2.0 * _smooth_noise(self.seed, f"cond:{probe_id}", time) - 1.0
+            2.0 * _smooth_noise(self.seed, stream, time) - 1.0
         )
-        value = cfg.conductivity_base_us + cfg.conductivity_melt_us * melt * self._probe_gain(
-            probe_id
-        )
+        value = cfg.conductivity_base_us + cfg.conductivity_melt_us * melt * gain
         return max(0.0, value + noise * (0.3 + 0.7 * melt))
 
     # ------------------------------------------------------------------

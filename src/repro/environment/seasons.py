@@ -12,6 +12,7 @@ The paper anchors several behaviours to the calendar:
 
 from __future__ import annotations
 
+import functools
 import math
 
 from repro.sim.simtime import day_of_year
@@ -32,10 +33,19 @@ MELT_RAMP_DAYS = 25.0
 FREEZE_ONSET_DOY = 280
 
 
-def _month(time: float) -> int:
-    from repro.sim.simtime import to_datetime
+@functools.lru_cache(maxsize=4096)
+def _month_of_day_index(day_index: int) -> int:
+    from repro.sim.simtime import DAY, to_datetime
 
-    return to_datetime(time).month
+    return to_datetime(day_index * DAY).month
+
+
+def _month(time: float) -> int:
+    # The default epoch is a UTC midnight, so the calendar month is constant
+    # across each whole simulated day — cache it per day index.
+    from repro.sim.simtime import DAY
+
+    return _month_of_day_index(int(time // DAY))
 
 
 def is_tourist_season(time: float) -> bool:
@@ -51,9 +61,6 @@ def cafe_has_power(time: float) -> bool:
 def is_winter(time: float) -> bool:
     """True during the December-March survival period."""
     return _month(time) in WINTER_MONTHS
-
-
-import functools
 
 
 @functools.lru_cache(maxsize=400)

@@ -92,6 +92,13 @@ class WeatherConfig:
     initial_snow_m: float = 0.0
 
 
+#: Grid step of the memoised per-day sample tables (resolves the diurnal
+#: solar curve and the 3-hour noise blocks comfortably; consumers building
+#: matching tables — :class:`repro.energy.sources.PowerSource` — must agree).
+DAY_CACHE_STEP_S = 900.0
+_DAY_CACHE_POINTS = int(DAY / DAY_CACHE_STEP_S) + 1  # inclusive of both ends
+
+
 class IcelandWeather:
     """Deterministic weather provider for one site."""
 
@@ -99,20 +106,128 @@ class IcelandWeather:
         self.config = config or WeatherConfig()
         self.seed = int(seed)
         self._snow_cache: List[float] = [self.config.initial_snow_m]
+        #: ``(channel, day_index) -> tuple of samples`` — see :meth:`day_samples`.
+        self._day_cache: Dict[tuple, tuple] = {}
+
+    # ------------------------------------------------------------------
+    # Per-day evaluation cache
+    # ------------------------------------------------------------------
+    def day_samples(self, channel: str, day_index: int) -> tuple:
+        """Memoised samples of ``channel`` across one UTC day.
+
+        ``channel`` is a method name (``"wind_speed"``, ``"solar_factor"``,
+        ``"temperature_c"``); the result is a tuple of values on a uniform
+        :data:`DAY_CACHE_STEP_S` grid covering ``[day_index*DAY,
+        (day_index+1)*DAY]`` inclusive of both endpoints.  Quadrature over
+        any sub-interval of a previously touched day is O(1) per step with
+        no hash/trig work — the adaptive power bus leans on this.
+        """
+        key = (channel, day_index)
+        cached = self._day_cache.get(key)
+        if cached is None:
+            fn = getattr(self, channel)
+            base = day_index * DAY
+            cached = tuple(
+                fn(base + k * DAY_CACHE_STEP_S) for k in range(_DAY_CACHE_POINTS)
+            )
+            self._day_cache[key] = cached
+        return cached
+
+    def day_memo(self, key: str, day_index: int, build) -> tuple:
+        """Memoise ``build()`` under ``(key, day_index)`` in the day cache.
+
+        For derived per-day tables that are pure functions of the weather
+        (e.g. the unit insolation integral) and therefore shareable between
+        every consumer of this provider — both stations' solar panels hit
+        the same entry.
+        """
+        cache_key = (key, day_index)
+        cached = self._day_cache.get(cache_key)
+        if cached is None:
+            cached = build()
+            self._day_cache[cache_key] = cached
+        return cached
+
+    def solar_terms(self, day_index: int) -> tuple:
+        """``(A, B)`` such that clear-sky sin-elevation at time ``t`` inside
+        the day is ``A + B * cos(2π/DAY * (t_of_day - DAY/2))``.
+
+        Declination (and hence ``A``/``B``) is constant across a UTC day in
+        this model, which is what makes :class:`~repro.energy.sources.
+        SolarPanel`'s diurnal energy integral analytic.
+        """
+        key = ("_solar_terms", day_index)
+        cached = self._day_cache.get(key)
+        if cached is None:
+            doy = day_of_year(day_index * DAY)
+            declination = -23.44 * math.cos(math.radians(360.0 / 365.0 * (doy + 10)))
+            lat = math.radians(self.config.latitude_deg)
+            dec = math.radians(declination)
+            cached = (math.sin(lat) * math.sin(dec), math.cos(lat) * math.cos(dec))
+            self._day_cache[key] = cached
+        return cached
+
+    def _seasonal_terms(self, day_index: int) -> tuple:
+        """``(wind_mean_ms, temp_seasonal_c)`` — the day-constant seasonal
+        parts of :meth:`wind_speed` and :meth:`temperature_c`, memoised.
+
+        Both depend on time only through ``day_of_year``, so hoisting them
+        to a per-day cache changes nothing numerically while removing two
+        trig calls from every instantaneous weather query.
+        """
+        key = ("_seasonal", day_index)
+        cached = self._day_cache.get(key)
+        if cached is None:
+            cfg = self.config
+            doy = day_of_year(day_index * DAY)
+            winterness = 0.5 * (1.0 + math.cos(2.0 * math.pi * (doy - 15) / 365.0))
+            wind_mean = cfg.wind_mean_summer_ms + winterness * (
+                cfg.wind_mean_winter_ms - cfg.wind_mean_summer_ms
+            )
+            seasonal_phase = math.cos(
+                2.0 * math.pi * (doy - cfg.temp_peak_doy) / 365.0
+            )
+            mean = 0.5 * (cfg.temp_summer_c + cfg.temp_winter_c)
+            amplitude = 0.5 * (cfg.temp_summer_c - cfg.temp_winter_c)
+            cached = (wind_mean, mean + amplitude * seasonal_phase)
+            self._day_cache[key] = cached
+        return cached
+
+    def cloud_pieces(self, t0: float, t1: float):
+        """Yield ``(a, b, c0, c1)`` with ``cloud_transmission(t) == c0 + c1*t``
+        exactly on each ``[a, b]`` covering ``[t0, t1]``.
+
+        Cloud transmission is noise linearly interpolated between 3-hour
+        block midpoints, i.e. piecewise linear with breakpoints at
+        ``(k + 0.5) * NOISE_BLOCK_S`` — so an integrand built on it stays
+        analytically integrable piece by piece.
+        """
+        if t1 <= t0:
+            return
+        low = self.config.cloud_min_transmission
+        span = 1.0 - low
+        k = math.floor(t0 / NOISE_BLOCK_S - 0.5)
+        a = t0
+        while a < t1:
+            mid_lo = (k + 0.5) * NOISE_BLOCK_S
+            mid_hi = (k + 1.5) * NOISE_BLOCK_S
+            b = min(t1, mid_hi)
+            n0 = _block_noise(self.seed, "cloud", k)
+            n1 = _block_noise(self.seed, "cloud", k + 1)
+            slope = span * (n1 - n0) / NOISE_BLOCK_S
+            # Data iterator, not a simulation process.
+            yield a, b, (low + span * n0) - slope * mid_lo, slope  # repro-lint: disable=yield-discipline
+            a = b
+            k += 1
 
     # ------------------------------------------------------------------
     # Solar
     # ------------------------------------------------------------------
     def solar_elevation_deg(self, time: float) -> float:
         """Sun elevation above the horizon in degrees (clear sky geometry)."""
-        doy = day_of_year(time)
-        declination = -23.44 * math.cos(math.radians(360.0 / 365.0 * (doy + 10)))
+        a, b = self.solar_terms(int(time // DAY))
         hour_angle = (fraction_of_day(time) - 0.5) * 360.0
-        lat = math.radians(self.config.latitude_deg)
-        dec = math.radians(declination)
-        sin_elev = math.sin(lat) * math.sin(dec) + math.cos(lat) * math.cos(dec) * math.cos(
-            math.radians(hour_angle)
-        )
+        sin_elev = a + b * math.cos(math.radians(hour_angle))
         return math.degrees(math.asin(max(-1.0, min(1.0, sin_elev))))
 
     def cloud_transmission(self, time: float) -> float:
@@ -123,10 +238,15 @@ class IcelandWeather:
 
     def solar_factor(self, time: float) -> float:
         """Panel output as a fraction of rating, in [0, 1]."""
-        elevation = self.solar_elevation_deg(time)
-        if elevation <= 0:
+        a, b = self.solar_terms(int(time // DAY))
+        sin_elev = a + b * math.cos(
+            math.radians((fraction_of_day(time) - 0.5) * 360.0)
+        )
+        if sin_elev <= 0.0:
             return 0.0
-        return math.sin(math.radians(elevation)) * self.cloud_transmission(time)
+        if sin_elev > 1.0:
+            sin_elev = 1.0
+        return sin_elev * self.cloud_transmission(time)
 
     # ------------------------------------------------------------------
     # Wind
@@ -134,11 +254,7 @@ class IcelandWeather:
     def wind_speed(self, time: float) -> float:
         """Wind speed in m/s, seasonal with gusts and storm blocks."""
         cfg = self.config
-        doy = day_of_year(time)
-        winterness = 0.5 * (1.0 + math.cos(2.0 * math.pi * (doy - 15) / 365.0))
-        mean = cfg.wind_mean_summer_ms + winterness * (
-            cfg.wind_mean_winter_ms - cfg.wind_mean_summer_ms
-        )
+        mean = self._seasonal_terms(int(time // DAY))[0]
         gust = 0.4 + 1.2 * _smooth_noise(self.seed, "wind", time)
         block = math.floor(time / NOISE_BLOCK_S)
         storm = (
@@ -154,11 +270,7 @@ class IcelandWeather:
     def temperature_c(self, time: float) -> float:
         """Air temperature at the station in °C."""
         cfg = self.config
-        doy = day_of_year(time)
-        seasonal_phase = math.cos(2.0 * math.pi * (doy - cfg.temp_peak_doy) / 365.0)
-        mean = 0.5 * (cfg.temp_summer_c + cfg.temp_winter_c)
-        amplitude = 0.5 * (cfg.temp_summer_c - cfg.temp_winter_c)
-        seasonal = mean + amplitude * seasonal_phase
+        seasonal = self._seasonal_terms(int(time // DAY))[1]
         diurnal = cfg.temp_diurnal_c * math.sin(2.0 * math.pi * (fraction_of_day(time) - 0.25))
         noise = cfg.temp_noise_c * (2.0 * _smooth_noise(self.seed, "temp", time) - 1.0)
         return seasonal + diurnal + noise

@@ -414,7 +414,57 @@ class NoPrintRule(Rule):
 
 
 # ----------------------------------------------------------------------
-# Rule 8: no allocations in the kernel hot path
+# Rule 8: energy conservation
+# ----------------------------------------------------------------------
+@register
+class EnergyConservationRule(Rule):
+    """Battery mutation belongs to the PowerBus sync bracket, nowhere else.
+
+    The adaptive integrator's whole contract is that the battery's stored
+    state is only advanced inside ``PowerBus.sync()`` (and the bus's own
+    ``drain_j`` helper, which syncs around the withdrawal).  A subsystem
+    that calls ``battery.apply(...)`` or ``battery.drain_j(...)`` directly
+    injects or removes energy the bus never integrated: the books stop
+    balancing, crossing predictions are computed from a state the planner
+    never saw, and fixed-vs-adaptive A/B runs diverge.  Route every
+    withdrawal through ``PowerBus.drain_j`` and every flow through a
+    registered source or load.
+    """
+
+    id = "energy-conservation"
+    description = "direct battery.apply()/battery.drain_j() — only PowerBus.sync() may move energy"
+    #: The bus implements the bracket; the battery's own module and tests
+    #: exercising the model directly are the sanctioned callers.
+    exempt_path_suffixes = ("energy/bus.py", "energy/battery.py")
+
+    _MUTATORS = {"apply", "drain_j"}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in self._MUTATORS:
+                continue
+            parts = dotted_parts(func)
+            if not parts:
+                continue
+            # Only battery receivers: ``bus.drain_j(...)`` is the sanctioned
+            # API and must stay clean, so the receiver chain has to name a
+            # battery (``battery.apply``, ``self.battery.drain_j``, ...).
+            receiver = parts[:-1]
+            if not any("battery" in part.lower() for part in receiver):
+                continue
+            yield self.finding(
+                ctx, node,
+                f"direct {'.'.join(parts)}() mutates battery state outside "
+                "the PowerBus sync bracket; go through PowerBus.drain_j or "
+                "a registered source/load",
+            )
+
+
+# ----------------------------------------------------------------------
+# Rule 9: no allocations in the kernel hot path
 # ----------------------------------------------------------------------
 @register
 class NoHotPathAllocRule(Rule):

@@ -72,6 +72,8 @@ class Observability:
         #: actually wanted.
         self.kernel_active = bool(kernel_spans or self_profile)
         self._trace_bridge = trace_bridge
+        #: ``(source, kind) -> Counter`` — cached trace-bridge handles.
+        self._trace_counters: dict = {}
         #: Callbacks to re-select cached kernel dispatch when flags change
         #: (the kernel registers :meth:`Simulation._refresh_dispatch` here,
         #: so the run loop never re-reads ``kernel_active`` per event).
@@ -125,8 +127,15 @@ class Observability:
             trace.subscribe(self._on_trace_record)
 
     def _on_trace_record(self, record) -> None:
-        self.metrics.inc("trace_records_total",
-                         source=record.source, kind=record.kind)
+        # Runs for *every* trace record — cache the counter handle per
+        # (source, kind) instead of re-resolving labels each time.
+        key = (record.source, record.kind)
+        counter = self._trace_counters.get(key)
+        if counter is None:
+            counter = self.metrics.counter(
+                "trace_records_total", source=record.source, kind=record.kind)
+            self._trace_counters[key] = counter
+        counter.inc()
 
     # ------------------------------------------------------------------
     # Kernel hook

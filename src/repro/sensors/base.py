@@ -46,6 +46,7 @@ class Sensor:
         self.offset = offset
         self.clip = clip
         self.seed = seed
+        self._noise_stream = f"sensor:{name}"
 
     def sample(self, time: float) -> float:
         """One measurement of the signal at ``time``."""
@@ -53,7 +54,7 @@ class Sensor:
         if self.noise_std > 0.0:
             # Uniform noise with std = noise_std: half-width = std * sqrt(3).
             half_width = self.noise_std * 1.7320508
-            noise = (2.0 * _smooth_noise(self.seed, f"sensor:{self.name}", time) - 1.0)
+            noise = (2.0 * _smooth_noise(self.seed, self._noise_stream, time) - 1.0)
             value += noise * half_width
         if self.resolution > 0.0:
             value = round(value / self.resolution) * self.resolution

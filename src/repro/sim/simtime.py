@@ -13,6 +13,8 @@ season described in the paper.
 from __future__ import annotations
 
 import datetime as _dt
+import functools
+import math
 
 #: One simulated second (the base unit).
 SECOND = 1.0
@@ -32,6 +34,40 @@ DEFAULT_EPOCH = _dt.datetime(2008, 9, 1, 0, 0, 0, tzinfo=_dt.timezone.utc)
 RTC_RESET_DATETIME = _dt.datetime(1970, 1, 1, 0, 0, 0, tzinfo=_dt.timezone.utc)
 
 
+#: Microsecond-integer calendar arithmetic.  ``timedelta(seconds=t)``
+#: quantises a float to whole microseconds (ties to even); the fast paths
+#: below reproduce that quantisation exactly with integer arithmetic, so
+#: :func:`day_of_year` and :func:`fraction_of_day` — the two calls every
+#: weather/season/schedule query makes — never build datetime objects.
+_US_PER_SECOND = 1_000_000
+_US_PER_DAY = 86_400_000_000
+
+
+def _us_since_epoch(sim_seconds: float) -> int:
+    """``sim_seconds`` as whole microseconds, rounded the timedelta way."""
+    frac, whole = math.modf(sim_seconds)
+    return int(whole) * _US_PER_SECOND + round(frac * 1e6)
+
+
+@functools.lru_cache(maxsize=64)
+def _epoch_anchor(epoch: _dt.datetime):
+    """``(proleptic day ordinal, microsecond of day)`` of ``epoch``."""
+    sod_us = (
+        ((epoch.hour * 60 + epoch.minute) * 60 + epoch.second) * _US_PER_SECOND
+        + epoch.microsecond
+    )
+    return epoch.toordinal(), sod_us
+
+
+@functools.lru_cache(maxsize=8192)
+def _ordinal_day_of_year(ordinal: int) -> int:
+    return _dt.date.fromordinal(ordinal).timetuple().tm_yday
+
+
+_DEFAULT_ANCHOR = (DEFAULT_EPOCH.toordinal(),
+                   _epoch_anchor(DEFAULT_EPOCH)[1])
+
+
 def to_datetime(sim_seconds: float, epoch: _dt.datetime = DEFAULT_EPOCH) -> _dt.datetime:
     """Convert simulated seconds since ``epoch`` to a UTC datetime."""
     return epoch + _dt.timedelta(seconds=sim_seconds)
@@ -46,7 +82,12 @@ def from_datetime(when: _dt.datetime, epoch: _dt.datetime = DEFAULT_EPOCH) -> fl
 
 def day_of_year(sim_seconds: float, epoch: _dt.datetime = DEFAULT_EPOCH) -> int:
     """Day of year (1-366) at the given simulated instant."""
-    return to_datetime(sim_seconds, epoch).timetuple().tm_yday
+    if epoch is DEFAULT_EPOCH:
+        ordinal0, sod_us = _DEFAULT_ANCHOR
+    else:
+        ordinal0, sod_us = _epoch_anchor(epoch)
+    days = (sod_us + _us_since_epoch(sim_seconds)) // _US_PER_DAY
+    return _ordinal_day_of_year(ordinal0 + days)
 
 
 def fraction_of_day(sim_seconds: float, epoch: _dt.datetime = DEFAULT_EPOCH) -> float:
@@ -54,8 +95,15 @@ def fraction_of_day(sim_seconds: float, epoch: _dt.datetime = DEFAULT_EPOCH) -> 
 
     0.5 is midday UTC — the scheduled communication window.
     """
-    when = to_datetime(sim_seconds, epoch)
-    return (when.hour * HOUR + when.minute * MINUTE + when.second + when.microsecond / 1e6) / DAY
+    if epoch is DEFAULT_EPOCH:
+        sod_us = _DEFAULT_ANCHOR[1]
+    else:
+        sod_us = _epoch_anchor(epoch)[1]
+    day_us = (sod_us + _us_since_epoch(sim_seconds)) % _US_PER_DAY
+    # Whole seconds of day stay below 2**53, so summing them as one integer
+    # is bit-identical to the hour/minute/second float expansion.
+    second, microsecond = divmod(day_us, _US_PER_SECOND)
+    return (second + microsecond / 1e6) / DAY
 
 
 def next_time_of_day(sim_seconds: float, hour: float, epoch: _dt.datetime = DEFAULT_EPOCH) -> float:

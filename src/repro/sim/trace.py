@@ -10,7 +10,9 @@ log-volume behaviour.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
+from operator import attrgetter
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from repro.sim.simtime import SimClock
@@ -136,18 +138,27 @@ class Trace:
         start: Optional[float] = None,
         end: Optional[float] = None,
     ) -> Iterator[TraceRecord]:
-        """Iterator variant of :meth:`select`."""
+        """Iterator variant of :meth:`select`.
+
+        Records carry nondecreasing timestamps (the simulated clock never
+        runs backwards), so a ``start`` bound is located by bisection and
+        an ``end`` bound terminates the scan — windowed queries (the daily
+        log-file sizing) stay O(window) as the trace grows over a year.
+        """
         child_prefix = source + "." if source is not None else None
-        for record in self.records:
+        records = self.records
+        lo = 0
+        if start is not None:
+            lo = bisect_left(records, start, key=attrgetter("time"))
+        for index in range(lo, len(records)):
+            record = records[index]
+            if end is not None and record.time >= end:
+                break
             if source is not None and record.source != source and not (
                 child_prefix is not None and record.source.startswith(child_prefix)
             ):
                 continue
             if kind is not None and record.kind != kind:
-                continue
-            if start is not None and record.time < start:
-                continue
-            if end is not None and record.time >= end:
                 continue
             yield record
 

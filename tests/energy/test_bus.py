@@ -14,8 +14,9 @@ def sim():
     return Simulation(seed=3)
 
 
-def make_bus(sim, soc=1.0, step_s=300.0):
-    return PowerBus(sim, Battery(soc=soc), name="test.power", step_s=step_s)
+def make_bus(sim, soc=1.0, step_s=300.0, mode="adaptive"):
+    return PowerBus(sim, Battery(soc=soc), name="test.power",
+                    step_s=step_s, mode=mode)
 
 
 class TestLoadSet:
@@ -120,7 +121,67 @@ class TestBusIntegration:
         source = bus.add_source(ConstantSource(10.0))
         sim.run(until=3600.0)
         bus.sync()
-        assert source.energy_j == pytest.approx(10.0 * 3600.0, rel=1e-6)
+        assert source.delivered_j == pytest.approx(10.0 * 3600.0, rel=1e-6)
+
+
+class TestSyncIdempotency:
+    """Regression tests for the ``_last_sync == sim.now`` double-integration
+    bug: a second sync at the same instant must be a pure no-op (modulo the
+    edge re-check), whatever put the two syncs on the same timestamp."""
+
+    @pytest.mark.parametrize("mode", ["fixed", "adaptive"])
+    def test_repeated_sync_at_same_instant_is_a_no_op(self, sim, mode):
+        bus = make_bus(sim, mode=mode)
+        bus.add_load("gps", 3.6)
+        bus.loads.switch_on("gps")
+        sim.run(until=1000.0)
+        bus.sync()
+        soc = bus.battery.soc
+        booked = bus.loads.get("gps").energy_j
+        bus.sync()
+        bus.sync(reason="read")
+        assert bus.battery.soc == soc
+        assert bus.loads.get("gps").energy_j == booked
+
+    @pytest.mark.parametrize("toggle_created_first", [True, False])
+    def test_boundary_toggle_books_energy_once(self, sim, toggle_created_first):
+        """A toggle landing exactly on a tick boundary must book the load's
+        energy exactly once, in either heap order of tick and toggle."""
+        bus = make_bus(sim, mode="fixed")
+        bus.add_load("gps", 3.6)
+
+        def toggler(sim):
+            if toggle_created_first:
+                # Timeout created at t=0: the toggle outranks the t=600 tick.
+                yield sim.timeout(600.0)
+            else:
+                # Final timeout created at t=450, after the t=300 tick has
+                # already scheduled the t=600 tick: the tick fires first.
+                yield sim.timeout(450.0)
+                yield sim.timeout(150.0)
+            bus.loads.switch_on("gps")
+            yield sim.timeout(600.0)  # off at t=1200, also a tick boundary
+            bus.loads.switch_off("gps")
+
+        sim.process(toggler(sim))
+        sim.run(until=1800.0)
+        bus.sync()
+        assert bus.loads.get("gps").energy_j == pytest.approx(3.6 * 600.0, rel=1e-9)
+        expected_soc = 1.0 - 3.6 * 600.0 / bus.battery.config.capacity_j
+        assert bus.battery.soc == pytest.approx(expected_soc, rel=1e-9)
+
+    @pytest.mark.parametrize("mode", ["fixed", "adaptive"])
+    def test_same_instant_drain_still_fires_brownout(self, sim, mode):
+        """``drain_j`` right after a same-timestamp sync must integrate
+        nothing extra yet still run the brown-out edge check."""
+        bus = make_bus(sim, soc=0.2, mode=mode)
+        fired = []
+        bus.on_brownout.append(lambda: fired.append(sim.now))
+        sim.run(until=600.0)
+        bus.sync()
+        bus.drain_j(0.25 * bus.battery.config.capacity_j)
+        assert fired == [600.0]
+        assert bus.battery.soc == 0.0
 
 
 class TestBrownoutRecovery:

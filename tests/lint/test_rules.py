@@ -394,12 +394,73 @@ class TestNoHotPathAlloc:
         assert found == []
 
 
+class TestEnergyConservation:
+    def test_fires_on_direct_battery_apply(self):
+        found = findings_for(
+            """
+            def tick(battery, dt):
+                battery.apply(dt, load_w=1.0, source_w=0.0)
+            """,
+            rule="energy-conservation",
+        )
+        assert rule_ids(found) == ["energy-conservation"]
+
+    def test_fires_on_attribute_battery_drain(self):
+        found = findings_for(
+            """
+            class Heater:
+                def pulse(self):
+                    self.battery.drain_j(250.0)
+            """,
+            rule="energy-conservation",
+        )
+        assert rule_ids(found) == ["energy-conservation"]
+
+    def test_quiet_on_bus_drain(self):
+        found = findings_for(
+            """
+            def fire(bus):
+                bus.drain_j(250.0, label="squib")
+            """,
+            rule="energy-conservation",
+        )
+        assert found == []
+
+    def test_quiet_on_unrelated_apply(self):
+        found = findings_for(
+            """
+            def patch(frame, delta):
+                frame.apply(delta)
+            """,
+            rule="energy-conservation",
+        )
+        assert found == []
+
+    def test_bus_and_battery_modules_exempt(self):
+        snippet = """
+            def sync(self, dt):
+                self.battery.apply(dt, load_w=0.0, source_w=0.0)
+            """
+        for path in ("src/repro/energy/bus.py", "src/repro/energy/battery.py"):
+            assert findings_for(snippet, rule="energy-conservation", path=path) == []
+
+    def test_inline_suppression(self):
+        found = findings_for(
+            """
+            def calibrate(battery):
+                battery.drain_j(1.0)  # repro-lint: disable=energy-conservation
+            """,
+            rule="energy-conservation",
+        )
+        assert found == []
+
+
 class TestRegistry:
     def test_all_shipped_rules_registered(self):
         expected = {
             "wall-clock", "rng-discipline", "float-equality",
             "mutable-default", "silent-except", "yield-discipline",
-            "no-print", "no-hot-path-alloc",
+            "no-print", "no-hot-path-alloc", "energy-conservation",
         }
         assert expected <= set(RULE_REGISTRY)
 
