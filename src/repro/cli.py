@@ -63,6 +63,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="measure wall-clock time per process and print a "
                             "hotspot report to stderr (host-dependent; never "
                             "part of any exported artefact)")
+        p.add_argument("--faults", metavar="PLAN.json", default=None,
+                       help="fault plan to arm before the run (JSON; see "
+                            "repro.faults) — same seed + same plan replays "
+                            "byte-identically")
 
     simulate = sub.add_parser("simulate", help="run a deployment and summarise")
     common(simulate)
@@ -87,6 +91,15 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--what", choices=("velocity", "voltage", "snapshot"),
                         default="velocity", help="which product to export")
 
+    inject = sub.add_parser(
+        "inject",
+        help="run under a fault plan and check the recovery invariants",
+    )
+    common(inject)
+    inject.add_argument("--report-out", metavar="FILE", default=None,
+                        help="also write the invariant report to this file")
+    inject.set_defaults(days=45.0)
+
     sweep = sub.add_parser(
         "sweep",
         help="run a config-grid x seed sweep in parallel, with result caching",
@@ -106,6 +119,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="ignore and do not write the result cache")
     sweep.add_argument("--output", metavar="FILE", default=None,
                        help="write the sweep JSON here instead of stdout")
+    sweep.add_argument("--faults", action="append", default=[],
+                       metavar="PLAN.json",
+                       help="fault plan to cross into the grid; repeatable. "
+                            "Use the literal 'none' for the fault-free "
+                            "baseline alongside plan files")
 
     lint = sub.add_parser(
         "lint",
@@ -117,7 +135,18 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _build_deployment(args) -> Deployment:
+def _load_fault_plan(args) -> Optional[dict]:
+    """The ``--faults`` plan as its dict form, or None."""
+    path = getattr(args, "faults", None)
+    if not path:
+        return None
+    import json
+
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _build_deployment(args, check_invariants: bool = False) -> Deployment:
     base = StationConfig()
     reference = reference_defaults()
     if args.no_wind:
@@ -129,7 +158,16 @@ def _build_deployment(args) -> Deployment:
         if getattr(args, "energy_step_s", None) is not None:
             config.energy_step_s = args.energy_step_s
     deployment = Deployment(DeploymentConfig(seed=args.seed, base=base,
-                                             reference=reference))
+                                             reference=reference,
+                                             fault_plan=_load_fault_plan(args)))
+    #: Armed fault engine (None without --faults); ``inject`` reads the
+    #: invariant report off it after the run.
+    deployment.fault_engine = None
+    if deployment.config.fault_plan is not None:
+        from repro.faults import apply_fault_plan
+
+        deployment.fault_engine = apply_fault_plan(
+            deployment, check_invariants=check_invariants)
     if args.override is not None:
         deployment.set_manual_override(args.override)
     if getattr(args, "spans_out", None):
@@ -271,6 +309,30 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_inject(args) -> int:
+    """Run under a fault plan and verdict the recovery invariants.
+
+    Without ``--faults`` the canonical chaos scenario runs (every fault
+    kind over 45 days — the CI chaos-smoke configuration).  Exit code is
+    the invariant verdict: 0 iff no violation.
+    """
+    from repro.faults import apply_fault_plan, canonical_chaos_plan
+
+    deployment = _build_deployment(args, check_invariants=True)
+    if deployment.fault_engine is None:
+        deployment.fault_engine = apply_fault_plan(
+            deployment, canonical_chaos_plan(), check_invariants=True)
+    deployment.run_days(args.days)
+    _write_observability(deployment, args)
+    report = deployment.fault_engine.finish()
+    text = report.format()
+    print(text)
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    return 0 if report.ok else 1
+
+
 def _cmd_export(args) -> int:
     from repro.analysis.export import (
         archive_snapshot_json,
@@ -322,7 +384,19 @@ def _cmd_sweep(args) -> int:
             raise SystemExit(f"--param must look like FIELD=V1,V2,... (got {spec_arg!r})")
         params[name] = [_parse_param_value(v) for v in values.split(",")]
     seeds = [int(s) for s in args.seeds.split(",") if s]
-    spec = SweepSpec(grid=expand_grid(params), seeds=seeds, days=args.days)
+    fault_plans = None
+    if args.faults:
+        import json
+
+        fault_plans = []
+        for path in args.faults:
+            if path == "none":
+                fault_plans.append(None)
+            else:
+                with open(path, "r", encoding="utf-8") as fh:
+                    fault_plans.append(json.load(fh))
+    spec = SweepSpec(grid=expand_grid(params), seeds=seeds, days=args.days,
+                     fault_plans=fault_plans)
     cache = None if args.no_cache else SweepCache(args.cache_dir)
     result = run_sweep(spec, jobs=args.jobs, cache=cache)
     text = sweep_to_json(result)
@@ -358,6 +432,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "metrics": _cmd_metrics,
         "export": _cmd_export,
+        "inject": _cmd_inject,
         "sweep": _cmd_sweep,
     }
     return handlers[args.command](args)

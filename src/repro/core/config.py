@@ -125,3 +125,9 @@ class DeploymentConfig:
     probe_time_sync: bool = True
     #: Fit the §VII enclosure pitch/roll sensors on both stations.
     station_tilt_sensors: bool = False
+    #: Fault plan to arm against this deployment, as the plain-dict form of
+    #: :class:`repro.faults.FaultPlan`.  Data only: the core layer never
+    #: interprets it — the layers above (cli, fleet, lint) hand it to
+    #: ``repro.faults.apply_fault_plan`` before running, preserving the §7
+    #: downward-imports rule.
+    fault_plan: Optional[dict] = None

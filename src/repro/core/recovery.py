@@ -20,8 +20,8 @@ from __future__ import annotations
 import datetime as _dt
 from typing import Optional
 
-from repro.comms.link import LinkDown
 from repro.gps.receiver import GpsReceiver, TimeFixFailed
+from repro.sim.events import Interrupt
 from repro.hardware.i2c import I2CBus
 from repro.hardware.storage import CompactFlashCard, StorageCorruption
 from repro.sim.kernel import Simulation
@@ -107,13 +107,25 @@ class ScheduleRecovery:
         return True
 
     def _ntp_time(self):
-        """NTP over GPRS: the paper's proposed extension."""
+        """NTP over GPRS: the paper's proposed extension.
+
+        Any failure mode — a coverage outage (:class:`LinkDown`) or
+        anything else the modem stack raises — must leave the session
+        closed, or the modem's load stays latched on and drains the
+        battery until the next daily run.  ``disconnect()`` therefore
+        runs in a ``finally``; only kernel interrupts (watchdog, power
+        kill) propagate, and those unwind through the same ``finally``.
+        """
         try:
             yield self.sim.process(self.gprs_modem.connect())
             yield self.sim.process(self.gprs_modem.send(96, label="ntp"))
-        except LinkDown:
-            self.gprs_modem.disconnect()
+        except Interrupt:
+            raise
+        except Exception as exc:  # noqa: BLE001 - any comms failure = no fix
+            self.sim.trace.emit(self.station_name, "ntp_failed",
+                                error=type(exc).__name__)
             return None
-        self.gprs_modem.disconnect()
+        finally:
+            self.gprs_modem.disconnect()
         self.sim.trace.emit(self.station_name, "ntp_fix")
         return self.sim.utcnow()

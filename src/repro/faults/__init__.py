@@ -1,0 +1,50 @@
+"""Deterministic fault injection for the deployment's field-failure paths.
+
+The paper is a deployment-experience report: its contributions exist
+because things broke on the glacier.  This package makes those breakages
+*schedulable* — a declarative, seeded :class:`FaultPlan` injects GPRS
+outages, probe-radio loss spikes, CF-card corruption, RTC resets/skews,
+battery drain shocks and server outages into a live deployment, while an
+:class:`InvariantChecker` asserts the recovery properties the paper
+claims.  Same seed + same plan reproduces byte-identical traces.
+
+Typical use::
+
+    from repro.core import Deployment, DeploymentConfig
+    from repro.faults import apply_fault_plan, canonical_chaos_plan
+
+    deployment = Deployment(DeploymentConfig(seed=42))
+    engine = apply_fault_plan(deployment, canonical_chaos_plan())
+    deployment.run_days(45)
+    report = engine.finish()
+    assert report.ok, report.format()
+"""
+
+from repro.faults.harness import FaultEngine, apply_fault_plan
+from repro.faults.invariants import (
+    FaultOutcome,
+    InvariantChecker,
+    InvariantReport,
+    Violation,
+)
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    ResolvedFault,
+    canonical_chaos_plan,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEngine",
+    "FaultOutcome",
+    "FaultPlan",
+    "FaultSpec",
+    "InvariantChecker",
+    "InvariantReport",
+    "ResolvedFault",
+    "Violation",
+    "apply_fault_plan",
+    "canonical_chaos_plan",
+]

@@ -37,11 +37,14 @@ def config_digest(overrides: Mapping[str, Any]) -> str:
 
 
 def job_digest(overrides: Mapping[str, Any], days: float, seed: int,
-               version: Optional[str] = None) -> str:
+               version: Optional[str] = None,
+               fault_plan: Optional[Mapping[str, Any]] = None) -> str:
     """Digest of one run's full inputs — the cache key.
 
     ``version`` defaults to the installed ``repro.__version__`` at call
     time, so bumping the package version invalidates every cached run.
+    ``fault_plan`` (the plan's dict form) joins the key only when present,
+    so plain sweeps keep their existing cache entries.
     """
     if version is None:
         version = __version__
@@ -51,6 +54,8 @@ def job_digest(overrides: Mapping[str, Any], days: float, seed: int,
         "seed": seed,
         "version": version,
     }
+    if fault_plan is not None:
+        payload["fault_plan"] = dict(fault_plan)
     return hashlib.sha256(_canonical(payload).encode()).hexdigest()
 
 

@@ -38,12 +38,22 @@ class SweepResult:
 
 
 def merge_runs(runs: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
-    """Order run records by ``(config_digest, seed)``.
+    """Order run records by ``(config_digest, fault plan, seed)``.
 
     Completion order out of the process pool is non-deterministic; this
-    sort is what makes ``--jobs 1`` and ``--jobs 4`` byte-identical.
+    sort is what makes ``--jobs 1`` and ``--jobs 4`` byte-identical.  The
+    fault-plan key (its canonical JSON; "" when absent) slots between
+    config and seed so fault-grid sweeps merge as deterministically as
+    plain ones — and plain sweeps sort exactly as they always have.
     """
-    return sorted(runs, key=lambda run: (run["config_digest"], run["seed"]))
+
+    def key(run: Dict[str, Any]):
+        plan = run.get("fault_plan")
+        plan_key = "" if plan is None else json.dumps(
+            plan, sort_keys=True, separators=(",", ":"))
+        return (run["config_digest"], plan_key, run["seed"])
+
+    return sorted(runs, key=key)
 
 
 def sweep_to_json(result: SweepResult) -> str:

@@ -31,25 +31,39 @@ _STATION_FIELDS = frozenset(f.name for f in dataclasses.fields(StationConfig))
 
 @dataclasses.dataclass(frozen=True)
 class SweepJob:
-    """One grid point: base-station config overrides × seed × duration."""
+    """One grid point: config overrides × fault plan × seed × duration.
+
+    ``fault_plan_json`` carries the plan's canonical JSON string (not the
+    dict) so the job stays hashable and picklable; ``None`` means no
+    faults, which is also the wire format of every pre-fault sweep.
+    """
 
     overrides: OverrideItems
     seed: int
     days: float
     config_digest: str
     digest: str
+    fault_plan_json: Optional[str] = None
 
 
 @dataclasses.dataclass
 class SweepSpec:
-    """A sweep: every config in ``grid`` crossed with every seed."""
+    """A sweep: every config in ``grid`` crossed with every plan and seed.
+
+    ``fault_plans`` is a list of fault-plan dict forms
+    (:meth:`repro.faults.FaultPlan.to_dict`); a ``None`` entry is the
+    fault-free baseline.  Omitting it entirely keeps the classic
+    config × seed sweep, byte-identical to before the faults layer.
+    """
 
     grid: List[Dict[str, Any]]
     seeds: Sequence[int]
     days: float
+    fault_plans: Optional[List[Optional[Dict[str, Any]]]] = None
 
     def jobs(self) -> List[SweepJob]:
         """The expanded job list, validated, in deterministic order."""
+        plans = self.fault_plans if self.fault_plans else [None]
         out: List[SweepJob] = []
         for overrides in self.grid:
             unknown = set(overrides) - _STATION_FIELDS
@@ -59,17 +73,28 @@ class SweepSpec:
                 )
             items: OverrideItems = tuple(sorted(overrides.items()))
             cfg_digest = config_digest(overrides)
-            for seed in self.seeds:
-                out.append(
-                    SweepJob(
-                        overrides=items,
-                        seed=int(seed),
-                        days=self.days,
-                        config_digest=cfg_digest,
-                        digest=job_digest(overrides, self.days, seed),
+            for plan in plans:
+                plan_json = None if plan is None else _canonical_plan(plan)
+                for seed in self.seeds:
+                    out.append(
+                        SweepJob(
+                            overrides=items,
+                            seed=int(seed),
+                            days=self.days,
+                            config_digest=cfg_digest,
+                            digest=job_digest(overrides, self.days, seed,
+                                              fault_plan=plan),
+                            fault_plan_json=plan_json,
+                        )
                     )
-                )
         return out
+
+
+def _canonical_plan(plan: Dict[str, Any]) -> str:
+    """Canonical JSON for a fault-plan dict (sorted keys, no whitespace)."""
+    import json
+
+    return json.dumps(plan, sort_keys=True, separators=(",", ":"))
 
 
 def expand_grid(params: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
@@ -95,8 +120,24 @@ def run_job(job: SweepJob) -> Dict[str, Any]:
     for name, value in job.overrides:
         setattr(base, name, value)
     deployment = Deployment(DeploymentConfig(seed=job.seed, base=base))
+    engine = None
+    if job.fault_plan_json is not None:
+        import json
+
+        from repro.faults import apply_fault_plan
+
+        engine = apply_fault_plan(deployment, json.loads(job.fault_plan_json))
     deployment.run_days(job.days)
-    return summarise(deployment, job.days)
+    summary = summarise(deployment, job.days)
+    if engine is not None:
+        report = engine.finish()
+        summary["faults"] = {
+            "injected": len(report.outcomes),
+            "violations": len(report.violations),
+            "resolved": len(report.resolved),
+            "pending": len(report.pending),
+        }
+    return summary
 
 
 def summarise(deployment: Deployment, days: float) -> Dict[str, Any]:
@@ -123,13 +164,18 @@ def summarise(deployment: Deployment, days: float) -> Dict[str, Any]:
 
 
 def _record(job: SweepJob, summary: Dict[str, Any]) -> Dict[str, Any]:
-    return {
+    record = {
         "config": dict(job.overrides),
         "config_digest": job.config_digest,
         "seed": job.seed,
         "days": job.days,
         "result": summary,
     }
+    if job.fault_plan_json is not None:
+        import json
+
+        record["fault_plan"] = json.loads(job.fault_plan_json)
+    return record
 
 
 def run_sweep(

@@ -42,11 +42,21 @@ def trace_digest(records: Iterable[TraceRecord]) -> str:
     return digest.hexdigest()
 
 
-def run_mission(seed: int, days: float) -> Tuple[str, List[str]]:
-    """Run one short deployment; return (trace digest, canonical lines)."""
+def run_mission(seed: int, days: float,
+                fault_plan: Optional[dict] = None) -> Tuple[str, List[str]]:
+    """Run one short deployment; return (trace digest, canonical lines).
+
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan` dict form) is armed
+    before the run, so the replay comparison covers fault scheduling,
+    injection edges and every recovery path the plan provokes.
+    """
     from repro.core import Deployment, DeploymentConfig
 
     deployment = Deployment(DeploymentConfig(seed=seed))
+    if fault_plan is not None:
+        from repro.faults import apply_fault_plan
+
+        apply_fault_plan(deployment, fault_plan, check_invariants=False)
     deployment.run_days(days)
     lines = [record_canonical(r) for r in deployment.sim.trace.records]
     return trace_digest(deployment.sim.trace.records), lines
@@ -87,10 +97,11 @@ class DeterminismReport:
         return "\n".join(lines)
 
 
-def check_determinism(seed: int = 0, days: float = 0.5) -> DeterminismReport:
+def check_determinism(seed: int = 0, days: float = 0.5,
+                      fault_plan: Optional[dict] = None) -> DeterminismReport:
     """Run the same mission twice and diff the trace digests."""
-    digest_a, lines_a = run_mission(seed, days)
-    digest_b, lines_b = run_mission(seed, days)
+    digest_a, lines_a = run_mission(seed, days, fault_plan=fault_plan)
+    digest_b, lines_b = run_mission(seed, days, fault_plan=fault_plan)
     divergence: Optional[Tuple[int, str, str]] = None
     if digest_a != digest_b:
         for index, (a, b) in enumerate(zip(lines_a, lines_b)):
@@ -117,8 +128,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=0, help="master seed")
     parser.add_argument("--days", type=float, default=0.5,
                         help="mission length in simulated days")
+    parser.add_argument("--faults", metavar="PLAN.json", default=None,
+                        help="fault plan to arm in both runs (JSON file)")
     args = parser.parse_args(argv)
-    report = check_determinism(seed=args.seed, days=args.days)
+    fault_plan = None
+    if args.faults is not None:
+        import json
+
+        with open(args.faults, "r", encoding="utf-8") as fh:
+            fault_plan = json.load(fh)
+    report = check_determinism(seed=args.seed, days=args.days,
+                               fault_plan=fault_plan)
     # This module doubles as a CLI entry point; stdout is its interface.
     print(report.summary())  # repro-lint: disable=no-print
     return 0 if report.identical else 1

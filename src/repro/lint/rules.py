@@ -520,3 +520,136 @@ class NoHotPathAllocRule(Rule):
                         "hoist it out of the per-event path or move the work "
                         "to a batch API (docs/performance.md)",
                     )
+
+
+# ----------------------------------------------------------------------
+# Rule 10: imports point strictly downwards (architecture.md §7)
+# ----------------------------------------------------------------------
+@register
+class LayeringRule(Rule):
+    """Package imports must follow the §7 layer diagram, strictly downwards.
+
+    The reproduction is a tower: sim at the bottom, energy/environment on
+    it, then hardware and the comms stack, core tying the paper together,
+    and the tooling layers (faults, analysis, fleet, lint, cli) on top.
+    An upward import — ``core`` reaching into ``faults``, a hardware
+    module importing ``core`` — couples a lower layer to its consumers,
+    makes the lower layer untestable in isolation, and (for the fault
+    layer specifically) would let production code depend on its own chaos
+    harness.  ``TYPE_CHECKING``-guarded imports are exempt: they express
+    a type-level reference, not a runtime dependency (the obs↔sim cycle
+    is broken exactly that way).  ``repro.obs`` is additionally
+    reachable only from the kernel and the CLI — every other subsystem
+    must use its ``sim.obs`` handle.
+    """
+
+    id = "layering"
+    description = "upward cross-package import (architecture.md §7: imports point strictly downwards)"
+
+    #: architecture.md §7, as numbers: an import is legal iff the imported
+    #: package's layer is strictly below the importer's (same package is
+    #: always fine).  Equal-layer packages are siblings and must not
+    #: import each other either (energy/environment talk through the
+    #: structural WeatherProvider protocol, not imports).
+    LAYERS = {
+        "obs": 0,
+        "sim": 1,
+        "energy": 2,
+        "environment": 2,
+        "hardware": 3,
+        "sensors": 3,
+        "comms": 4,
+        "gps": 4,
+        "protocol": 5,
+        "probes": 6,
+        "server": 6,
+        "core": 7,
+        "faults": 8,
+        "analysis": 9,
+        "fleet": 9,
+        "lint": 9,
+        "cli": 10,
+    }
+
+    #: Packages with an explicit import allow-list overriding the layer
+    #: numbers: ``repro.obs`` sits below everything so that the kernel can
+    #: build the hub, but only the kernel (and the CLI's exporter calls)
+    #: may *import* it — subsystems go through their ``sim.obs`` handle.
+    RESTRICTED_IMPORTERS = {"obs": frozenset({"sim", "cli"})}
+
+    def _importer_package(self, ctx: FileContext) -> Optional[str]:
+        """The repro sub-package ``ctx``'s file belongs to, or None."""
+        parts = ctx.posix_path.split("/")
+        try:
+            idx = len(parts) - 1 - parts[::-1].index("repro")
+        except ValueError:
+            return None
+        if idx + 1 >= len(parts):
+            return None
+        head = parts[idx + 1]
+        if head.endswith(".py"):
+            head = head[:-3]  # top-level module, e.g. repro/cli.py
+        return head if head in self.LAYERS else None
+
+    @staticmethod
+    def _type_checking_lines(tree: ast.AST) -> set:
+        """Line numbers inside ``if TYPE_CHECKING:`` bodies."""
+        lines: set = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.If):
+                continue
+            test = node.test
+            name = test.id if isinstance(test, ast.Name) else (
+                test.attr if isinstance(test, ast.Attribute) else None)
+            if name != "TYPE_CHECKING":
+                continue
+            for stmt in node.body:
+                lines.update(range(stmt.lineno, (stmt.end_lineno or stmt.lineno) + 1))
+        return lines
+
+    def _imported_packages(self, node: ast.AST) -> List[str]:
+        """repro sub-packages named by one import statement."""
+        modules: List[str] = []
+        if isinstance(node, ast.Import):
+            modules = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            modules = [node.module]
+        out: List[str] = []
+        for module in modules:
+            parts = module.split(".")
+            if len(parts) >= 2 and parts[0] == "repro" and parts[1] in self.LAYERS:
+                out.append(parts[1])
+        return out
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        importer = self._importer_package(ctx)
+        if importer is None:
+            return
+        importer_layer = self.LAYERS[importer]
+        guarded = self._type_checking_lines(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            if node.lineno in guarded:
+                continue
+            for imported in self._imported_packages(node):
+                if imported == importer:
+                    continue
+                allowed = self.RESTRICTED_IMPORTERS.get(imported)
+                if allowed is not None:
+                    if importer not in allowed:
+                        yield self.finding(
+                            ctx, node,
+                            f"repro.{imported} may only be imported by "
+                            f"{sorted(allowed)} (use the sim.{imported} "
+                            "handle instead); see architecture.md §7",
+                        )
+                    continue
+                if self.LAYERS[imported] >= importer_layer:
+                    yield self.finding(
+                        ctx, node,
+                        f"repro.{importer} (layer {importer_layer}) must not "
+                        f"import repro.{imported} (layer "
+                        f"{self.LAYERS[imported]}): imports point strictly "
+                        "downwards (architecture.md §7)",
+                    )

@@ -26,6 +26,10 @@ class StopWaitResult:
     total: int = 0
     delivered: int = 0
     failed: int = 0
+    #: Readings abandoned because ``budget_s`` ran out, not because the
+    #: link lost them — kept out of ``failed`` so the E14 ablation doesn't
+    #: charge session-budget exhaustion against the protocol's loss rate.
+    truncated: int = 0
     complete: bool = False
     duration_s: float = 0.0
     airtime_bytes: int = 0
@@ -65,18 +69,27 @@ class StopWaitFetcher:
                     break
                 packet_bytes = DATA_HEADER_BYTES + reading.wire_bytes
                 delivered = False
+                out_of_budget = False
                 for _attempt in range(self.retries_per_reading):
                     if deadline is not None and self.sim.now >= deadline:
+                        out_of_budget = True
                         break
                     result.airtime_bytes += packet_bytes
                     data_ok = yield self.sim.process(link.transmit(packet_bytes))
+                    if not data_ok:
+                        # The receiver never saw the DATA packet, so no ACK
+                        # is sent: the ACK leg costs neither airtime nor a
+                        # loss roll.
+                        continue
                     result.airtime_bytes += ACK_BYTES
                     ack_ok = yield self.sim.process(link.transmit(ACK_BYTES))
-                    if data_ok and ack_ok:
+                    if ack_ok:
                         delivered = True
                         break
                 if delivered:
                     result.delivered += 1
+                elif out_of_budget:
+                    result.truncated += 1
                 else:
                     result.failed += 1
             if result.delivered == result.total:

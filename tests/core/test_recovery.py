@@ -109,24 +109,79 @@ class TestClockRecovery:
         assert proc.value is True
 
 
+def make_ntp_rig(seed=52, with_modem=True, outage_probability=0.0):
+    """A station whose GPS never fixes, forcing the NTP fallback path."""
+    sim = Simulation(seed=seed)
+    bus = PowerBus(sim, Battery(soc=0.9), name="n.power")
+    msp = Msp430(sim, bus, name="n.msp430")
+    i2c = I2CBus(sim, msp)
+    card = CompactFlashCard(name="n.cf")
+    gps = GpsReceiver(sim, bus, name="n.gps", position_fn=lambda t: 0.0)
+    gps.satellites_visible = lambda t: 0
+    modem = None
+    if with_modem:
+        from repro.comms.gprs import GprsModem
+
+        modem = GprsModem(sim, bus, name="n.gprs",
+                          outage_probability=outage_probability)
+    recovery = ScheduleRecovery(sim, "n", card, gps, i2c,
+                                ntp_fallback=True, gprs_modem=modem)
+    return sim, msp, modem, recovery
+
+
 class TestNtpFallback:
     def test_ntp_used_when_gps_fails(self):
         """The paper's future-work extension, implemented."""
-        sim = Simulation(seed=52)
-        bus = PowerBus(sim, Battery(soc=0.9), name="n.power")
-        msp = Msp430(sim, bus, name="n.msp430")
-        i2c = I2CBus(sim, msp)
-        card = CompactFlashCard(name="n.cf")
-        gps = GpsReceiver(sim, bus, name="n.gps", position_fn=lambda t: 0.0)
-        gps.satellites_visible = lambda t: 0
-        from repro.comms.gprs import GprsModem
-
-        modem = GprsModem(sim, bus, name="n.gprs", outage_probability=0.0)
-        recovery = ScheduleRecovery(sim, "n", card, gps, i2c,
-                                    ntp_fallback=True, gprs_modem=modem)
+        sim, msp, _modem, recovery = make_ntp_rig()
         msp.rtc.reset()
         proc = sim.process(recovery.recover_clock())
         sim.run(until=sim.now + HOUR)
         assert proc.value is True
         assert abs(msp.rtc.error_seconds()) < 1.0
         assert len(sim.trace.select(kind="ntp_fix")) == 1
+
+    def test_fallback_enabled_without_modem_fails_cleanly(self):
+        """ntp_fallback=True with no modem fitted must report failure, not
+        crash the daily run on a None modem."""
+        sim, msp, _modem, recovery = make_ntp_rig(with_modem=False)
+        msp.rtc.reset()
+        proc = sim.process(recovery.recover_clock())
+        sim.run(until=sim.now + HOUR)
+        assert proc.value is False
+        assert recovery.failed_attempts == 1
+        assert len(sim.trace.select(kind="clock_recovery_failed")) == 1
+
+    def test_gprs_outage_leaves_session_closed(self):
+        """A coverage outage mid-NTP must power the modem back off; a
+        latched session load would drain the battery until the next run."""
+        sim, msp, modem, recovery = make_ntp_rig()
+        modem.available = lambda t: False  # total outage
+        msp.rtc.reset()
+        proc = sim.process(recovery.recover_clock())
+        sim.run(until=sim.now + HOUR)
+        assert proc.value is False
+        assert not modem.connected
+        assert modem.load.current_power() == 0.0
+        failures = sim.trace.select(kind="ntp_failed")
+        assert len(failures) == 1
+        assert failures[0].detail["error"] == "LinkDown"
+
+    def test_unexpected_error_mid_ntp_leaves_session_closed(self):
+        """Non-LinkDown failures take the same cleanup path (the bug this
+        guards against: only LinkDown used to disconnect)."""
+        sim, msp, modem, recovery = make_ntp_rig()
+
+        def broken_send(nbytes, label=""):
+            raise RuntimeError("modem firmware wedged")
+            yield  # pragma: no cover - makes this a generator function
+
+        modem.send = broken_send
+        msp.rtc.reset()
+        proc = sim.process(recovery.recover_clock())
+        sim.run(until=sim.now + HOUR)
+        assert proc.value is False
+        assert not modem.connected
+        assert modem.load.current_power() == 0.0
+        failures = sim.trace.select(kind="ntp_failed")
+        assert len(failures) == 1
+        assert failures[0].detail["error"] == "RuntimeError"

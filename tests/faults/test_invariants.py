@@ -1,0 +1,188 @@
+"""InvariantChecker tests against hand-built trace streams.
+
+These drive the checker with synthetic ``sim.trace.emit`` sequences so
+each invariant's trip-wire is exercised in isolation, without needing a
+full deployment to misbehave on cue.
+"""
+
+from repro.faults.invariants import InvariantChecker
+from repro.sim import Simulation
+
+
+def _rig():
+    sim = Simulation(seed=9)
+    return sim, InvariantChecker(sim)
+
+
+def _inject(sim, kind, station="base", until=None):
+    sim.trace.emit("faults", "fault_injected", station=station, fault=kind,
+                   until=until)
+
+
+class TestOverrideFloor:
+    def test_override_cannot_raise_state(self):
+        sim, checker = _rig()
+        sim.trace.emit("base", "run_start")
+        sim.trace.emit("base", "local_state", state=1)
+        sim.trace.emit("base", "override_applied", local=1, effective=3)
+        report = checker.finish()
+        assert not report.ok
+        assert report.violations[0].invariant == "override-floor"
+
+    def test_override_cannot_force_dark(self):
+        sim, checker = _rig()
+        sim.trace.emit("base", "run_start")
+        sim.trace.emit("base", "local_state", state=2)
+        sim.trace.emit("base", "override_applied", local=2, effective=0)
+        report = checker.finish()
+        assert [v.invariant for v in report.violations] == ["override-floor"]
+
+    def test_legitimate_override_clamp_is_clean(self):
+        sim, checker = _rig()
+        sim.trace.emit("base", "run_start")
+        sim.trace.emit("base", "local_state", state=3)
+        sim.trace.emit("base", "override_applied", local=3, effective=1)
+        sim.trace.emit("base", "state_applied", state=1)
+        assert checker.finish().ok
+
+
+class TestStateMonotonicity:
+    def test_applied_state_above_local_is_violation(self):
+        sim, checker = _rig()
+        sim.trace.emit("base", "run_start")
+        sim.trace.emit("base", "local_state", state=1)
+        sim.trace.emit("base", "state_applied", state=2)
+        report = checker.finish()
+        assert [v.invariant for v in report.violations] == ["state-monotonic"]
+
+    def test_unexplained_state_zero_is_violation(self):
+        sim, checker = _rig()
+        sim.trace.emit("base", "run_start")
+        sim.trace.emit("base", "local_state", state=2)
+        sim.trace.emit("base", "state_applied", state=0)
+        report = checker.finish()
+        assert [v.invariant for v in report.violations] == ["state-monotonic"]
+
+    def test_post_recovery_parking_at_zero_is_clean(self):
+        """The deliberate S0 park right after a clock recovery (Section IV)
+        is the one sanctioned local>0 → applied 0 transition."""
+        sim, checker = _rig()
+        sim.trace.emit("base", "run_start")
+        sim.trace.emit("base", "local_state", state=2)
+        sim.trace.emit("base", "state_applied", state=2)
+        sim.trace.emit("base", "run_start")
+        sim.trace.emit("base", "rtc_untrusted")
+        sim.trace.emit("base", "clock_recovered")
+        sim.trace.emit("base", "state_applied", state=0)
+        assert checker.finish().ok
+
+
+class TestClockCustody:
+    def test_science_with_distrusted_clock_is_violation(self):
+        sim, checker = _rig()
+        sim.trace.emit("base", "run_start")
+        sim.trace.emit("base", "rtc_untrusted")
+        sim.trace.emit("base", "local_state", state=2)
+        report = checker.finish()
+        assert any(v.invariant == "clock-custody" for v in report.violations)
+
+    def test_failed_recovery_then_retry_is_clean(self):
+        sim, checker = _rig()
+        _inject(sim, "rtc-reset")
+        sim.trace.emit("base", "run_start")
+        sim.trace.emit("base", "rtc_untrusted")
+        sim.trace.emit("base", "clock_recovery_failed")
+        sim.trace.emit("base", "run_start")
+        sim.trace.emit("base", "rtc_untrusted")
+        sim.trace.emit("base", "clock_recovered")
+        report = checker.finish()
+        assert report.ok
+        assert report.outcomes[0].result == "recovery_failed_retry"
+
+    def test_recovery_cut_by_reboot_counts_as_retry(self):
+        sim, checker = _rig()
+        sim.trace.emit("base", "run_start")
+        sim.trace.emit("base", "rtc_untrusted")
+        # No outcome record: the run died (watchdog / brown-out) before the
+        # recovery finished.  The next run_start is itself the retry.
+        sim.trace.emit("base", "run_start")
+        sim.trace.emit("base", "rtc_untrusted")
+        sim.trace.emit("base", "clock_recovered")
+        assert checker.finish().ok
+
+
+class TestPowerCustody:
+    def test_activity_while_browned_out_is_violation(self):
+        sim, checker = _rig()
+        sim.trace.emit("base.power", "brownout")
+        sim.trace.emit("base", "run_start")
+        report = checker.finish()
+        assert [v.invariant for v in report.violations] == ["power-custody"]
+
+    def test_brownout_then_recovery_then_run_is_clean(self):
+        sim, checker = _rig()
+        _inject(sim, "battery-drain")
+        sim.trace.emit("base.power", "brownout")
+        sim.trace.emit("base.power", "recovery")
+        sim.trace.emit("base", "run_start")
+        sim.trace.emit("base", "local_state", state=0)
+        report = checker.finish()
+        assert report.ok
+        assert report.outcomes[0].result == "recovered_after_brownout"
+
+
+class TestFaultOutcomes:
+    def test_gprs_reconnect_resolves_only_after_window(self):
+        sim, checker = _rig()
+        _inject(sim, "gprs-outage", until=500.0)
+        sim.trace.emit("base.gprs", "connected")  # t=0, still inside window
+        report_mid = checker.finish()
+        assert report_mid.pending and report_mid.pending[0].kind == "gprs-outage"
+
+        sim2 = Simulation(seed=9)
+        checker2 = InvariantChecker(sim2)
+        sim2.trace.emit("faults", "fault_injected", station="base",
+                        fault="gprs-outage", until=0.0)
+        sim2.run(until=600.0)
+        sim2.trace.emit("base.gprs", "connected")
+        report = checker2.finish()
+        assert report.resolved and report.resolved[0].result == "reconnected"
+
+    def test_unresolved_fault_reports_pending_not_violation(self):
+        sim, checker = _rig()
+        _inject(sim, "gprs-outage", until=1e9)
+        report = checker.finish()
+        assert report.ok
+        assert len(report.pending) == 1
+
+    def test_recovery_counter_incremented(self):
+        sim, checker = _rig()
+        _inject(sim, "rtc-reset")
+        sim.trace.emit("base", "run_start")
+        sim.trace.emit("base", "rtc_untrusted")
+        sim.trace.emit("base", "clock_recovered")
+        checker.finish()
+        counter = sim.obs.metrics.counter(
+            "fault_recoveries_total", kind="rtc-reset", result="clock_recovered")
+        assert counter.value == 1
+
+    def test_finish_is_idempotent_and_detaches(self):
+        sim, checker = _rig()
+        first = checker.finish()
+        # Records after finish() must not be observed.
+        sim.trace.emit("base", "run_start")
+        sim.trace.emit("base", "local_state", state=1)
+        sim.trace.emit("base", "state_applied", state=3)
+        second = checker.finish()
+        assert first.ok and second.ok
+        assert second.violations == []
+
+    def test_checker_emits_no_trace_records(self):
+        sim, checker = _rig()
+        _inject(sim, "rtc-reset")
+        sim.trace.emit("base", "run_start")
+        sim.trace.emit("base", "rtc_untrusted")
+        sim.trace.emit("base", "clock_recovered")
+        before = len(sim.trace.records)
+        checker.finish()
+        assert len(sim.trace.records) == before

@@ -1,0 +1,138 @@
+"""FaultPlan parsing, validation, round-tripping, and seeded resolution."""
+
+import json
+
+import pytest
+
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    canonical_chaos_plan,
+)
+from repro.sim import Simulation
+
+
+class TestFaultSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="meteor-strike", at_s=0.0)
+
+    def test_requires_exactly_one_schedule(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            FaultSpec(kind="rtc-reset")
+        with pytest.raises(ValueError, match="exactly one"):
+            FaultSpec(kind="rtc-reset", at_s=10.0, window=(0.0, 100.0))
+
+    def test_window_kind_needs_duration(self):
+        with pytest.raises(ValueError, match="duration_s"):
+            FaultSpec(kind="gprs-outage", at_s=0.0)
+
+    def test_event_kind_needs_no_duration(self):
+        spec = FaultSpec(kind="rtc-reset", at_s=5.0)
+        assert spec.duration_s == 0.0
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError, match="window"):
+            FaultSpec(kind="gprs-outage", window=(100.0, 100.0), duration_s=10.0)
+
+    def test_loss_bounds(self):
+        with pytest.raises(ValueError, match="loss"):
+            FaultSpec(kind="probe-loss-spike", at_s=0.0, duration_s=1.0, loss=1.5)
+
+    def test_battery_drain_needs_energy(self):
+        with pytest.raises(ValueError, match="energy_j"):
+            FaultSpec(kind="battery-drain", at_s=0.0)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown FaultSpec key"):
+            FaultSpec.from_dict({"kind": "rtc-reset", "at_s": 0.0, "sev": 9})
+
+
+class TestRoundTrip:
+    def test_plan_dict_round_trip(self):
+        plan = canonical_chaos_plan()
+        again = FaultPlan.from_dict(plan.to_dict())
+        assert again.to_dict() == plan.to_dict()
+        assert again.name == plan.name
+
+    def test_canonical_json_is_stable(self):
+        plan = canonical_chaos_plan()
+        assert plan.to_json() == FaultPlan.from_dict(
+            json.loads(plan.to_json())).to_json()
+
+    def test_json_file_loading(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(canonical_chaos_plan().to_dict()))
+        plan = FaultPlan.from_json_file(str(path))
+        assert plan.name == "canonical-chaos"
+        assert len(plan.specs) == 8
+
+    def test_unknown_plan_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown FaultPlan key"):
+            FaultPlan.from_dict({"name": "x", "faults": [], "extra": 1})
+
+    def test_every_kind_expressible_from_json(self):
+        """Acceptance: all fault kinds injectable from the JSON wire form."""
+        raw = {"name": "all", "faults": [
+            {"kind": "gprs-outage", "station": "base", "at_s": 0.0,
+             "duration_s": 10.0},
+            {"kind": "probe-loss-spike", "station": "base", "at_s": 0.0,
+             "duration_s": 10.0, "loss": 0.5},
+            {"kind": "storage-corruption", "station": "base", "at_s": 0.0},
+            {"kind": "rtc-reset", "station": "base", "at_s": 0.0},
+            {"kind": "battery-drain", "station": "base", "at_s": 0.0,
+             "energy_j": 1000.0},
+            {"kind": "server-outage", "at_s": 0.0, "duration_s": 10.0},
+        ]}
+        plan = FaultPlan.from_dict(raw)
+        assert sorted({s.kind for s in plan.specs}) == sorted(FAULT_KINDS)
+
+
+class TestResolution:
+    def test_fixed_faults_resolve_verbatim(self):
+        sim = Simulation(seed=7)
+        plan = FaultPlan(specs=[
+            FaultSpec(kind="gprs-outage", at_s=100.0, duration_s=50.0),
+            FaultSpec(kind="rtc-reset", at_s=10.0),
+        ])
+        resolved = plan.resolve(sim.rng)
+        assert [(f.kind, f.start_s, f.end_s) for f in resolved] == [
+            ("rtc-reset", 10.0, 10.0),
+            ("gprs-outage", 100.0, 150.0),
+        ]
+
+    def test_stochastic_draws_are_seed_deterministic(self):
+        plan = FaultPlan(name="st", specs=[
+            FaultSpec(kind="gprs-outage", count=3, window=(0.0, 1000.0),
+                      duration_s=5.0),
+        ])
+        a = plan.resolve(Simulation(seed=11).rng)
+        b = plan.resolve(Simulation(seed=11).rng)
+        c = plan.resolve(Simulation(seed=12).rng)
+        assert [f.start_s for f in a] == [f.start_s for f in b]
+        assert [f.start_s for f in a] != [f.start_s for f in c]
+        assert all(0.0 <= f.start_s < 1000.0 for f in a)
+
+    def test_stochastic_draws_do_not_touch_other_streams(self):
+        """Plan resolution uses its own named stream, so resolving a plan
+        never shifts any component's random sequence."""
+        sim_a = Simulation(seed=3)
+        witness_a = sim_a.rng.stream("witness").random()
+        sim_b = Simulation(seed=3)
+        FaultPlan(name="st", specs=[
+            FaultSpec(kind="server-outage", count=4, window=(0.0, 100.0),
+                      duration_s=1.0),
+        ]).resolve(sim_b.rng)
+        witness_b = sim_b.rng.stream("witness").random()
+        assert witness_a == witness_b
+
+    def test_resolution_sorted_by_start(self):
+        plan = FaultPlan(name="mix", specs=[
+            FaultSpec(kind="rtc-reset", at_s=500.0),
+            FaultSpec(kind="gprs-outage", count=2, window=(0.0, 1000.0),
+                      duration_s=10.0),
+        ])
+        resolved = plan.resolve(Simulation(seed=5).rng)
+        starts = [f.start_s for f in resolved]
+        assert starts == sorted(starts)

@@ -154,6 +154,67 @@ class TestParallelEquivalence:
             assert station["daily_runs"] >= 1
 
 
+def tiny_plan_dict(at_s=3600.0):
+    return {"name": "tiny", "faults": [
+        {"kind": "rtc-reset", "station": "base", "at_s": at_s}]}
+
+
+class TestFaultGrid:
+    def test_plan_changes_job_digest_none_does_not(self):
+        base = job_digest({}, 1.0, 0)
+        assert job_digest({}, 1.0, 0, fault_plan=None) == base
+        assert job_digest({}, 1.0, 0, fault_plan=tiny_plan_dict()) != base
+
+    def test_jobs_cross_grid_with_plans(self):
+        spec = SweepSpec(grid=[{}], seeds=[0, 1], days=1.0,
+                         fault_plans=[None, tiny_plan_dict()])
+        jobs = spec.jobs()
+        assert len(jobs) == 4
+        assert len({j.digest for j in jobs}) == 4
+        assert sum(1 for j in jobs if j.fault_plan_json is None) == 2
+
+    def test_faulted_run_carries_faults_summary(self):
+        spec = SweepSpec(grid=[{}], seeds=[0], days=1.0,
+                         fault_plans=[None, tiny_plan_dict()])
+        result = run_sweep(spec, jobs=1, cache=None)
+        by_plan = {json.dumps(r.get("fault_plan"), sort_keys=True): r
+                   for r in result.runs}
+        plain = by_plan["null"]
+        faulted = next(r for k, r in by_plan.items() if k != "null")
+        assert "faults" not in plain["result"]
+        faults = faulted["result"]["faults"]
+        assert faults["injected"] == 1
+        assert faults["violations"] == 0
+        assert faulted["fault_plan"] == tiny_plan_dict()
+
+    def test_merge_is_stable_across_plan_ordering(self):
+        a = SweepSpec(grid=[{}], seeds=[0], days=1.0,
+                      fault_plans=[None, tiny_plan_dict()])
+        b = SweepSpec(grid=[{}], seeds=[0], days=1.0,
+                      fault_plans=[tiny_plan_dict(), None])
+        assert sweep_to_json(run_sweep(a, jobs=1, cache=None)) == \
+            sweep_to_json(run_sweep(b, jobs=1, cache=None))
+
+    def test_fault_grid_parallel_matches_serial(self):
+        spec = SweepSpec(grid=[{}], seeds=[0], days=1.0,
+                         fault_plans=[None, tiny_plan_dict()])
+        serial = sweep_to_json(run_sweep(spec, jobs=1, cache=None))
+        parallel = sweep_to_json(run_sweep(spec, jobs=2, cache=None))
+        assert parallel == serial
+
+    def test_plain_sweep_cache_keys_survive_fault_feature(self, tmp_path):
+        """A pre-faults cache entry (no fault_plan in the key) must still
+        hit for a fault-free sweep."""
+        cache = SweepCache(str(tmp_path))
+        spec = SweepSpec(grid=[{}], seeds=[0], days=1.0)
+        run_sweep(spec, jobs=1, cache=cache)
+        with_plans_field = SweepSpec(grid=[{}], seeds=[0], days=1.0,
+                                     fault_plans=None)
+        warm = run_sweep(with_plans_field, jobs=1,
+                         cache=SweepCache(str(tmp_path)))
+        assert warm.cache_misses == 0
+
+
 class TestSweepCli:
     def run_cli(self, argv, tmp_path, capsys):
         from repro.cli import main

@@ -455,12 +455,117 @@ class TestEnergyConservation:
         assert found == []
 
 
+class TestLayering:
+    def test_fires_on_upward_import(self):
+        found = findings_for(
+            """
+            from repro.core.station import Station
+            """,
+            rule="layering",
+            path="src/repro/hardware/msp430.py",
+        )
+        assert rule_ids(found) == ["layering"]
+
+    def test_core_must_not_import_faults(self):
+        """The load-bearing case: production code never depends on its own
+        chaos harness."""
+        found = findings_for(
+            """
+            from repro.faults import apply_fault_plan
+            """,
+            rule="layering",
+            path="src/repro/core/deployment.py",
+        )
+        assert rule_ids(found) == ["layering"]
+
+    def test_fires_on_equal_layer_sibling_import(self):
+        found = findings_for(
+            """
+            import repro.environment.weather
+            """,
+            rule="layering",
+            path="src/repro/energy/sources.py",
+        )
+        assert rule_ids(found) == ["layering"]
+
+    def test_quiet_on_downward_import(self):
+        found = findings_for(
+            """
+            from repro.sim.kernel import Simulation
+            from repro.energy.bus import PowerBus
+            from repro.core.deployment import Deployment
+            """,
+            rule="layering",
+            path="src/repro/faults/harness.py",
+        )
+        assert found == []
+
+    def test_quiet_on_same_package_import(self):
+        found = findings_for(
+            """
+            from repro.core.config import DeploymentConfig
+            """,
+            rule="layering",
+            path="src/repro/core/deployment.py",
+        )
+        assert found == []
+
+    def test_obs_restricted_to_kernel_and_cli(self):
+        snippet = """
+            from repro.obs.metrics import MetricsRegistry
+            """
+        assert rule_ids(findings_for(
+            snippet, rule="layering",
+            path="src/repro/energy/bus.py")) == ["layering"]
+        assert findings_for(snippet, rule="layering",
+                            path="src/repro/sim/kernel.py") == []
+        assert findings_for(snippet, rule="layering",
+                            path="src/repro/cli.py") == []
+
+    def test_type_checking_imports_exempt(self):
+        found = findings_for(
+            """
+            from typing import TYPE_CHECKING
+            if TYPE_CHECKING:
+                from repro.core.station import Station
+
+            def poke(station: "Station") -> None:
+                station.daily_runs += 1
+            """,
+            rule="layering",
+            path="src/repro/hardware/msp430.py",
+        )
+        assert found == []
+
+    def test_quiet_outside_repro_tree(self):
+        found = findings_for(
+            """
+            from repro.core.station import Station
+            """,
+            rule="layering",
+            path="tests/hardware/test_msp430.py",
+        )
+        assert found == []
+
+    def test_shipped_tree_is_layer_clean(self):
+        """The real source tree must satisfy its own architecture diagram."""
+        import pathlib
+
+        from repro.lint.engine import lint_paths
+
+        src = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+        findings = lint_paths([str(src)],
+                              rules=default_rules(select=["layering"]))
+        assert findings == [], [str(f) for f in findings]
+
+
 class TestRegistry:
     def test_all_shipped_rules_registered(self):
         expected = {
             "wall-clock", "rng-discipline", "float-equality",
             "mutable-default", "silent-except", "yield-discipline",
             "no-print", "no-hot-path-alloc", "energy-conservation",
+            "layering",
         }
         assert expected <= set(RULE_REGISTRY)
 

@@ -58,6 +58,53 @@ class TestStopWait:
         assert not result.complete
         assert probe.tasks_completed == 0
 
+    def test_lost_data_packet_costs_no_ack_leg(self):
+        """When the DATA packet never arrives, no receiver exists to send
+        an ACK: the retry must not charge ACK airtime or roll ACK loss
+        (the accounting bug this pins down)."""
+        n, retries = 5, 3
+        sim = Simulation(seed=2)
+        probe = make_probe(sim, n)
+        link = ProbeRadioLink(sim, loss_fn=lambda t: 1.0, name="sw.link")
+        fetcher = StopWaitFetcher(sim, retries_per_reading=retries)
+        proc = sim.process(fetcher.fetch(probe, link))
+        sim.run(until=sim.now + 2 * HOUR)
+        result = proc.value
+        assert result.delivered == 0
+        assert result.failed == n
+        assert result.truncated == 0
+        # 30 B DATA per attempt, zero ACK bytes, one loss roll per attempt.
+        assert result.airtime_bytes == n * retries * 30
+        assert link.packets_sent == n * retries
+
+    def test_budget_expiry_mid_retry_counts_truncated_not_failed(self):
+        """A reading abandoned because the session clock ran out is not a
+        protocol loss; it lands in ``truncated``, never ``failed``."""
+        sim = Simulation(seed=2)
+        probe = make_probe(sim, 3)
+        link = ProbeRadioLink(sim, loss_fn=lambda t: 1.0, name="sw.link")
+        fetcher = StopWaitFetcher(sim, retries_per_reading=5)
+        # One full retry cycle is 5 x ((30+8)*8/9600 + 0.05) ~ 0.408 s:
+        # reading 1 exhausts its retries (failed), reading 2 starts but the
+        # budget expires mid-retry (truncated), reading 3 never starts.
+        proc = sim.process(fetcher.fetch(probe, link, budget_s=0.5))
+        sim.run(until=sim.now + HOUR)
+        result = proc.value
+        assert result.delivered == 0
+        assert result.failed == 1
+        assert result.truncated == 1
+        assert not result.complete
+
+    def test_truncated_defaults_to_zero_on_clean_sessions(self):
+        sim = Simulation(seed=2)
+        probe = make_probe(sim, 20)
+        link = ProbeRadioLink(sim, loss_fn=lambda t: 0.0, name="sw.link")
+        fetcher = StopWaitFetcher(sim)
+        proc = sim.process(fetcher.fetch(probe, link))
+        sim.run(until=sim.now + 2 * HOUR)
+        assert proc.value.truncated == 0
+        assert proc.value.complete
+
     def test_budget_bounds_session(self):
         sim = Simulation(seed=2)
         probe = make_probe(sim, 3000)

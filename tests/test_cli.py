@@ -116,3 +116,64 @@ class TestObservabilityCli:
         out = capsys.readouterr().out
         assert "Observability" in out
         assert "Span totals" in out
+
+
+class TestFaultCli:
+    @staticmethod
+    def write_plan(tmp_path, at_s=3600.0):
+        import json
+
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({"name": "cli", "faults": [
+            {"kind": "rtc-reset", "station": "base", "at_s": at_s}]}))
+        return str(path)
+
+    def test_inject_defaults_to_45_day_chaos(self):
+        args = build_parser().parse_args(["inject"])
+        assert args.days == 45.0
+        assert args.faults is None
+
+    def test_inject_with_plan_exits_on_verdict(self, tmp_path, capsys):
+        plan = self.write_plan(tmp_path)
+        assert main(["inject", "--days", "2", "--seed", "4",
+                     "--faults", plan]) == 0
+        out = capsys.readouterr().out
+        assert "invariants: OK" in out
+        assert "rtc-reset" in out
+
+    def test_inject_report_out(self, tmp_path, capsys):
+        plan = self.write_plan(tmp_path)
+        report = tmp_path / "report.txt"
+        assert main(["inject", "--days", "2", "--seed", "4", "--faults", plan,
+                     "--report-out", str(report)]) == 0
+        capsys.readouterr()
+        assert "invariants: OK" in report.read_text()
+
+    def test_simulate_accepts_faults_flag(self, tmp_path, capsys):
+        plan = self.write_plan(tmp_path)
+        assert main(["simulate", "--days", "2", "--seed", "4",
+                     "--faults", plan]) == 0
+        out = capsys.readouterr().out
+        assert "base" in out
+
+    def test_faulted_metrics_include_injection_counters(self, tmp_path, capsys):
+        plan = self.write_plan(tmp_path)
+        assert main(["metrics", "--days", "2", "--seed", "4",
+                     "--faults", plan]) == 0
+        out = capsys.readouterr().out
+        assert "faults_injected_total" in out
+
+    def test_sweep_fault_grid(self, tmp_path, capsys):
+        import json
+
+        plan = self.write_plan(tmp_path)
+        out_path = tmp_path / "sweep.json"
+        assert main(["sweep", "--days", "1", "--seeds", "0", "--no-cache",
+                     "--faults", plan, "--faults", "none",
+                     "--output", str(out_path)]) == 0
+        capsys.readouterr()
+        payload = json.loads(out_path.read_text())
+        assert len(payload["runs"]) == 2
+        with_plan = [r for r in payload["runs"] if "fault_plan" in r]
+        assert len(with_plan) == 1
+        assert with_plan[0]["result"]["faults"]["injected"] == 1
