@@ -10,6 +10,7 @@ Usage::
     repro-sim simulate --days 2 --metrics-out metrics.prom --spans-out spans.json
     repro-sim sweep --days 7 --seeds 0,1,2,3 --param solar_w=5,10 --jobs 4
     repro-sim lint src/repro --check-determinism
+    repro-sim races --days 45 --faults examples/faults/canonical_chaos.json
 
 (Equivalently ``python -m repro.cli ...``.  ``repro-sim lint`` forwards to
 the ``repro-lint`` static-analysis gate; see :mod:`repro.lint`.)
@@ -124,6 +125,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault plan to cross into the grid; repeatable. "
                             "Use the literal 'none' for the fault-free "
                             "baseline alongside plan files")
+
+    races = sub.add_parser(
+        "races",
+        help="event-ordering race check: static tie-sensitivity lint plus "
+             "perturbed-tie replay",
+    )
+    races.add_argument("--days", type=float, default=45.0,
+                       help="replay length in simulated days (default: 45)")
+    races.add_argument("--seed", type=int, default=0, help="master seed")
+    races.add_argument("--faults", metavar="PLAN.json", default=None,
+                       help="fault plan to arm in every replay (JSON file)")
+    races.add_argument("--policies", default="fifo,shuffle:1",
+                       metavar="P1,P2,...",
+                       help="tie-break policies; the first is the replay "
+                            "baseline (default: %(default)s)")
+    races.add_argument("--paths", nargs="*", default=["src/repro"],
+                       help="paths the static race rules lint "
+                            "(default: src/repro)")
+    races.add_argument("--format", choices=("text", "json"), default="text",
+                       help="report format")
+    races.add_argument("--output", metavar="FILE", default=None,
+                       help="write the report here as well as stdout")
 
     lint = sub.add_parser(
         "lint",
@@ -414,6 +437,46 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_races(args) -> int:
+    """Two-pronged event-ordering race check.
+
+    Static prong: the three tie-sensitivity rules over ``--paths``.
+    Dynamic prong: the mission replayed once per ``--policies`` entry,
+    normalized trace digests diffed against the first (baseline) policy,
+    divergences bisected to the offending schedule callsites.  Exit 0 iff
+    both prongs are clean.
+    """
+    import json
+
+    from repro.lint.engine import lint_paths
+    from repro.lint.races import RACE_RULE_IDS
+    from repro.lint.rules import default_rules
+    from repro.lint.tie_replay import check_tie_robustness
+
+    static_findings = lint_paths(
+        args.paths, rules=default_rules(select=list(RACE_RULE_IDS)))
+    fault_plan = _load_fault_plan(args)
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    report = check_tie_robustness(seed=args.seed, days=args.days,
+                                  policies=policies, fault_plan=fault_plan)
+    if args.format == "json":
+        text = json.dumps({
+            "static": [finding.to_dict() for finding in static_findings],
+            "replay": report.to_dict(),
+        }, indent=2)
+    else:
+        lines = [f"static race rules: {len(static_findings)} finding(s) "
+                 f"over {' '.join(args.paths)}"]
+        lines.extend("  " + finding.render() for finding in static_findings)
+        lines.append(report.format())
+        text = "\n".join(lines)
+    print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    return 0 if not static_findings and report.robust else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     if argv is None:
@@ -434,6 +497,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "export": _cmd_export,
         "inject": _cmd_inject,
         "sweep": _cmd_sweep,
+        "races": _cmd_races,
     }
     return handlers[args.command](args)
 

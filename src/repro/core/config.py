@@ -131,3 +131,8 @@ class DeploymentConfig:
     #: ``repro.faults.apply_fault_plan`` before running, preserving the §7
     #: downward-imports rule.
     fault_plan: Optional[dict] = None
+    #: Kernel tie-break policy for same-timestamp events: ``"fifo"``
+    #: (default), ``"lifo"``, or ``"shuffle:<seed>"``.  The perturbed
+    #: policies are replay *controls* for the races harness
+    #: (``repro.lint.tie_replay``); production runs keep fifo.
+    tie_break: str = "fifo"

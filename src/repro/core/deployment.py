@@ -33,7 +33,7 @@ class Deployment:
     def __init__(self, config: Optional[DeploymentConfig] = None) -> None:
         self.config = config if config is not None else DeploymentConfig()
         cfg = self.config
-        self.sim = Simulation(seed=cfg.seed)
+        self.sim = Simulation(seed=cfg.seed, tie_break=cfg.tie_break)
         self.weather = IcelandWeather(cfg.weather, seed=cfg.seed)
         self.glacier = GlacierModel(cfg.glacier, seed=cfg.seed)
         self.server = SouthamptonServer(self.sim)

@@ -140,6 +140,14 @@ class PowerBus:
         #: books are balanced to.
         self._acct_time = sim.now
         self._load_j = 0.0
+        #: Settled-read support: the instant of the most recent load toggle
+        #: and the total load power *just before* that instant's first
+        #: toggle.  A ``terminal_voltage(settled=True)`` read at the same
+        #: instant answers with this pre-toggle level, so a timer-driven
+        #: ADC sample is independent of whether a coincident load switch
+        #: happened to dispatch first.
+        self._tick_t = -1.0
+        self._tick_load_w = 0.0
         # Planning scan grid: the weather's stochastic texture is linearly
         # interpolated between 3-hour noise blocks, so nothing in the source
         # curve wiggles faster than ~30 minutes; scanning coarser than the
@@ -202,33 +210,56 @@ class PowerBus:
         """Combined draw of switched-on loads in watts."""
         return self.loads.total_power()
 
+    def settled_load_w(self) -> float:
+        """Load power over the open interval ending at this instant.
+
+        Equal to :meth:`load_power` except at an instant where a load has
+        already toggled, where it answers with the pre-toggle level — the
+        steady state that actually held while a coincident ADC conversion
+        was integrating charge.
+        """
+        if self._tick_t == self.sim.now:
+            return self._tick_load_w
+        return self.loads.total_power()
+
     def net_power(self) -> float:
         """Sources minus loads, in watts (positive = charging)."""
         return self.source_power() - self.load_power()
 
-    def terminal_voltage(self) -> float:
+    def terminal_voltage(self, settled: bool = False) -> float:
         """Battery terminal voltage right now — what the MSP430's ADC sees.
 
         Fixed mode syncs first (a read is a sample point).  Adaptive mode
         answers *predictively* — state of charge projected from the last
         sync through the interval source energies — so an ADC read does
         not force an integration event.
+
+        ``settled=True`` evaluates the IR term at :meth:`settled_load_w`
+        instead of the instantaneous load set: the reading a timer-driven
+        ADC conversion reports at an instant where a load also switches.
+        That value is the same whichever of the two coincident events
+        dispatched first, so periodic samplers stay tie-order robust;
+        leave it ``False`` when the caller just toggled a load and wants
+        to observe its own effect.
         """
         if self.mode == "fixed":
             self.sync(reason="read")
-            return self.battery.terminal_voltage(self.net_power())
+            load_w = self.settled_load_w() if settled else self.load_power()
+            return self.battery.terminal_voltage(self.source_power() - load_w)
+        load_w = self.settled_load_w() if settled else self.load_power()
+        net_w = self.source_power() - load_w
         now = self.sim.now
         dt = now - self._last_sync
         if dt <= 0:
-            return self.battery.terminal_voltage(self.net_power())
+            return self.battery.terminal_voltage(net_w)
         energy = 0.0
         for source in self.sources:
-            energy += source.energy_j(self._last_sync, now)
+            energy += max(0.0, source.energy_j(self._last_sync, now))
         drained_j = self._load_j
         if not self.battery.is_exhausted:
             drained_j += self.loads.total_power() * (now - self._acct_time)
         soc = self.battery.predicted_soc(dt, drained_j / dt, energy)
-        return self.battery.terminal_voltage_at(soc, self.net_power())
+        return self.battery.terminal_voltage_at(soc, net_w)
 
     # ------------------------------------------------------------------
     # Integration
@@ -355,6 +386,13 @@ class PowerBus:
                 callback()
 
     def _on_load_switch(self, _load: Load) -> None:
+        # Subscribers fire *before* the switch flips, so on the first
+        # toggle of an instant this captures the level the whole previous
+        # interval ran at — what a coincident settled read must report.
+        now = self.sim.now
+        if now != self._tick_t:
+            self._tick_t = now
+            self._tick_load_w = self.loads.total_power()
         if self.mode == "fixed":
             self.sync(reason="load_switch")
             return

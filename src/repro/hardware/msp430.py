@@ -172,7 +172,11 @@ class Msp430:
             yield self.sim.timeout(self.sample_interval_s)
             yield from self._wait_if_halted()
             rtc_hours = self.rtc.now().timestamp() / 3600.0
-            volts = self.bus.terminal_voltage()
+            # Settled read: the periodic ADC conversion reports the steady
+            # state that held up to this instant, so a schedule slot firing
+            # at the same timestamp (e.g. the noon GPS toggle) cannot leak
+            # into the sample via dispatch order.
+            volts = self.bus.terminal_voltage(settled=True)
             self.voltage_log.append((rtc_hours, volts))
             self.sim.trace.emit(self.name, "voltage_sample", volts=round(volts, 4))
             for sensor in self.sensors:

@@ -42,21 +42,45 @@ def trace_digest(records: Iterable[TraceRecord]) -> str:
     return digest.hexdigest()
 
 
+def lines_digest(lines: Iterable[str]) -> str:
+    """SHA-256 over pre-rendered canonical lines (tie_replay feeds these
+    after normalising same-timestamp groups)."""
+    digest = hashlib.sha256()
+    for line in lines:
+        digest.update(line.encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def build_mission(seed: int, fault_plan: Optional[dict] = None,
+                  tie_break: str = "fifo"):
+    """A ready-to-run canonical mission (fault plan armed, policy set).
+
+    Shared by the same-seed replay check here and the perturbed-tie
+    replay harness (:mod:`repro.lint.tie_replay`), which needs the
+    deployment *before* the run to switch on kernel tie diagnostics.
+    """
+    from repro.core import Deployment, DeploymentConfig
+
+    deployment = Deployment(DeploymentConfig(seed=seed, tie_break=tie_break))
+    if fault_plan is not None:
+        from repro.faults import apply_fault_plan
+
+        apply_fault_plan(deployment, fault_plan, check_invariants=False)
+    return deployment
+
+
 def run_mission(seed: int, days: float,
-                fault_plan: Optional[dict] = None) -> Tuple[str, List[str]]:
+                fault_plan: Optional[dict] = None,
+                tie_break: str = "fifo") -> Tuple[str, List[str]]:
     """Run one short deployment; return (trace digest, canonical lines).
 
     ``fault_plan`` (a :class:`repro.faults.FaultPlan` dict form) is armed
     before the run, so the replay comparison covers fault scheduling,
     injection edges and every recovery path the plan provokes.
+    ``tie_break`` selects the kernel's same-timestamp ordering policy.
     """
-    from repro.core import Deployment, DeploymentConfig
-
-    deployment = Deployment(DeploymentConfig(seed=seed))
-    if fault_plan is not None:
-        from repro.faults import apply_fault_plan
-
-        apply_fault_plan(deployment, fault_plan, check_invariants=False)
+    deployment = build_mission(seed, fault_plan=fault_plan, tie_break=tie_break)
     deployment.run_days(days)
     lines = [record_canonical(r) for r in deployment.sim.trace.records]
     return trace_digest(deployment.sim.trace.records), lines

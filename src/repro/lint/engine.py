@@ -9,7 +9,17 @@ Inline suppression::
     rng = np.random.default_rng(seed)  # repro-lint: disable=rng-discipline
 
 ``disable=all`` silences every rule on that line.  Suppressions are
-line-scoped on purpose — file-wide opt-outs hide new violations.
+line-scoped by default — file-wide opt-outs hide new violations.
+
+File-level suppression is the narrow exception, for modules that *are*
+the pattern (rule fixtures, golden race reproductions)::
+
+    # repro-lint: disable-file=same-time-schedule
+
+The directive must be a comment in the first five lines and must name
+explicit rule ids — ``disable-file=all`` is deliberately rejected, so a
+file can opt out of the rules it exists to violate without silencing
+everything else.
 """
 
 from __future__ import annotations
@@ -23,8 +33,16 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
 from repro.lint.findings import Finding, Severity
 from repro.lint.rules import FileContext, Rule, default_rules
 
+# Importing the module registers the event-ordering race rules; every
+# entry point (CLI, tests, tie_replay) reaches the registry through the
+# engine, so this is the one place that has to know they exist.
+import repro.lint.races  # noqa: E402,F401  (registration side effect)
+
 #: Marker introducing an inline suppression comment.
 SUPPRESS_MARKER = "repro-lint:"
+
+#: How many leading lines may carry a ``disable-file=`` directive.
+FILE_SUPPRESS_WINDOW = 5
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
@@ -63,6 +81,37 @@ def parse_suppressions(source: str) -> Dict[int, Set[str]]:
     return suppressions
 
 
+def parse_file_suppressions(source: str) -> Set[str]:
+    """Rule ids suppressed for the whole file.
+
+    A ``# repro-lint: disable-file=<rule>[,<rule>...]`` comment within the
+    first :data:`FILE_SUPPRESS_WINDOW` lines suppresses those rules
+    everywhere in the file — the escape hatch for fixture-heavy modules
+    whose *purpose* is to contain violations.  Uses the tokenizer, so the
+    marker inside a docstring never suppresses anything, and ``all`` is
+    rejected: a file may only opt out of named rules.
+    """
+    suppressed: Set[str] = set()
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.start[0] > FILE_SUPPRESS_WINDOW:
+                break
+            if token.type != tokenize.COMMENT:
+                continue
+            text = token.string.lstrip("#").strip()
+            if not text.startswith(SUPPRESS_MARKER):
+                continue
+            directive = text[len(SUPPRESS_MARKER):].strip()
+            if not directive.startswith("disable-file="):
+                continue
+            rules = {r.strip() for r in
+                     directive[len("disable-file="):].split(",") if r.strip()}
+            suppressed.update(rules - {"all"})
+    except tokenize.TokenError:
+        pass
+    return suppressed
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
@@ -87,11 +136,14 @@ def lint_source(
         ]
     ctx = FileContext(path=path, posix_path=posix_path, source=source, tree=tree)
     suppressions = parse_suppressions(source)
+    file_suppressions = parse_file_suppressions(source)
     findings: List[Finding] = []
     for rule in rules:
         if not rule.applies_to(ctx):
             continue
         for finding in rule.check(ctx):
+            if finding.rule in file_suppressions:
+                continue
             suppressed = suppressions.get(finding.line, set())
             if "all" in suppressed or finding.rule in suppressed:
                 continue

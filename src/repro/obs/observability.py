@@ -175,6 +175,6 @@ class Observability:
         family even when per-event instrumentation is off.
         """
         self.metrics.set_gauge("kernel_events_processed", float(sim.events_processed))
-        self.metrics.set_gauge("kernel_events_scheduled", float(sim._sequence))
-        self.metrics.set_gauge("kernel_queue_depth", float(len(sim._queue)))
+        self.metrics.set_gauge("kernel_events_scheduled", float(sim.events_scheduled))
+        self.metrics.set_gauge("kernel_queue_depth", float(sim.queue_depth))
         self.metrics.set_gauge("kernel_sim_time_seconds", sim.now)

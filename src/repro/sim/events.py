@@ -158,8 +158,11 @@ class Timeout(Event):
         self._exception = None
         self._defused = False
         self.delay = delay
-        seq = sim._sequence
-        sim._sequence = seq + 1
+        if sim._tie_fast:
+            seq = sim._sequence
+            sim._sequence = seq + 1
+        else:
+            seq = sim._next_key(self)
         heappush(sim._queue, (sim.clock._now + delay, seq, self))
 
     @property

@@ -11,6 +11,8 @@ rule.
 from __future__ import annotations
 
 import datetime as _dt
+import random as _random
+import sys as _sys
 from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
@@ -52,6 +54,19 @@ class Simulation:
         Optional pre-built :class:`~repro.obs.Observability`; a fresh one
         (metrics + trace bridge on, kernel spans and profiling off) is
         created otherwise.
+    tie_break:
+        How same-timestamp events are ordered.  ``"fifo"`` (default) is
+        insertion order, ``"lifo"`` is reverse insertion order, and
+        ``"shuffle:<seed>"`` is a deterministic pseudo-random permutation
+        of each equal-timestamp group keyed by ``<seed>``.  Every policy
+        is fully deterministic: same policy + same mission seed replays
+        byte-identically.  The perturbed policies exist so the races
+        harness (:mod:`repro.lint.tie_replay`) can prove that no schedule
+        silently relies on heap-insertion order — the prerequisite for
+        batched same-timestamp dispatch.  Only the tie key among events
+        with *equal* timestamps is permuted; cross-timestamp order is
+        untouched, and ``_sequence`` keeps counting scheduled events
+        under every policy.
     """
 
     def __init__(
@@ -60,6 +75,7 @@ class Simulation:
         seed: int = 0,
         trace: Optional[Trace] = None,
         obs: Optional[Observability] = None,
+        tie_break: str = "fifo",
     ) -> None:
         self.clock = SimClock(epoch=epoch)
         self.rng = RngRegistry(seed)
@@ -68,6 +84,36 @@ class Simulation:
         self._sequence = 0
         self._stopped = False
         self.events_processed = 0
+        #: Diagnostic state for the races harness (None = off, zero cost
+        #: beyond the ``_tie_fast`` flag check at each enqueue site).
+        self._site_log: Optional[dict] = None
+        self._dispatch_log: Optional[list] = None
+        kind, _, policy_seed = tie_break.partition(":")
+        if kind == "shuffle":
+            if not policy_seed.lstrip("-").isdigit():
+                raise ValueError(
+                    f"tie_break 'shuffle' needs an integer seed, e.g. "
+                    f"'shuffle:0' (got {tie_break!r})"
+                )
+            # The tie stream is replay *control*, not simulation randomness:
+            # it is keyed by the policy spec alone — deliberately outside
+            # the RngRegistry — so arming it can never perturb any
+            # component stream (that independence is exactly what the
+            # races harness measures).
+            self._tie_bits = _random.Random(int(policy_seed)).getrandbits
+        elif kind not in ("fifo", "lifo") or policy_seed:
+            raise ValueError(
+                f"tie_break must be 'fifo', 'lifo' or 'shuffle:<seed>' "
+                f"(got {tie_break!r})"
+            )
+        else:
+            self._tie_bits = None
+        self.tie_break = tie_break
+        self._tie_kind = kind
+        #: True on the default fast path: fifo policy, no diagnostics.
+        #: Enqueue sites then keep their inlined ``_sequence`` increment;
+        #: otherwise they route through :meth:`_next_key`.
+        self._tie_fast = kind == "fifo"
         #: Cached per-step instrumentation hook: ``None`` on the fast path,
         #: the bound ``Observability.kernel_step`` method otherwise.  Selected
         #: once whenever the hub or its flags change — the run loop never
@@ -98,7 +144,12 @@ class Simulation:
     def _refresh_dispatch(self) -> None:
         """Re-select the per-step dispatch after an observability change."""
         hub = self._obs
-        if hub is not None and hub.kernel_active:
+        if self._dispatch_log is not None:
+            # Tie diagnostics own the per-step hook for the whole run;
+            # diagnosis missions are dedicated, so obs kernel spans and
+            # diagnostics are never wanted at once.
+            self._kernel_hook = self._diag_step
+        elif hub is not None and hub.kernel_active:
             self._kernel_hook = hub.kernel_step
         else:
             self._kernel_hook = None
@@ -116,6 +167,77 @@ class Simulation:
         return self.clock.utcnow()
 
     # ------------------------------------------------------------------
+    # Kernel health accessors (the supported way to observe queue state —
+    # reading _queue/_sequence from outside the kernel trips the
+    # tie-break-assumption lint rule, because raw seq values are
+    # policy-dependent heap keys, not a contract)
+    # ------------------------------------------------------------------
+    @property
+    def events_scheduled(self) -> int:
+        """How many events have been enqueued so far (any policy)."""
+        return self._sequence
+
+    @property
+    def queue_depth(self) -> int:
+        """How many events are currently waiting in the queue."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Tie-break policy and race diagnostics
+    # ------------------------------------------------------------------
+    def _next_key(self, event: Event) -> int:
+        """Heap tie key for ``event`` under the active policy.
+
+        Only reached off the fast path (non-fifo policy or diagnostics
+        on).  The key orders *equal-timestamp* events only: ``lifo``
+        negates the insertion counter, ``shuffle`` prefixes it with a
+        deterministic 64-bit draw from the policy stream (the counter in
+        the low bits keeps keys unique, so heap comparisons never fall
+        through to the events themselves).  ``_sequence`` stays a plain
+        scheduled-events counter under every policy.
+        """
+        seq = self._sequence
+        self._sequence = seq + 1
+        kind = self._tie_kind
+        if kind == "lifo":
+            key = -seq
+        elif kind == "shuffle":
+            key = (self._tie_bits(64) << 64) | seq
+        else:
+            key = seq
+        site_log = self._site_log
+        if site_log is not None:
+            site_log[id(event)] = _schedule_site()
+        return key
+
+    def enable_tie_diagnostics(self) -> list:
+        """Record schedule callsites and dispatch order for every event.
+
+        Switches every enqueue onto the slow path, captures the first
+        non-kernel stack frame of each enqueue, and logs
+        ``(time, (file, line), event_type, event_name)`` per dispatched
+        event.  The races harness (:mod:`repro.lint.tie_replay`) uses two
+        such runs under different tie policies to bisect a digest
+        divergence back to the offending schedule callsites.  Returns the
+        live dispatch log.
+        """
+        if self._dispatch_log is None:
+            self._site_log = {}
+            self._dispatch_log = []
+            self._tie_fast = False
+            self._refresh_dispatch()
+        return self._dispatch_log
+
+    def _diag_step(self, event: Event, when: float, queue_len: int,
+                   run_callbacks: Callable[[], None]) -> None:
+        """Per-event hook while tie diagnostics are on."""
+        site = self._site_log.pop(id(event), None)
+        self._dispatch_log.append(
+            (when, site, type(event).__name__, getattr(event, "name", ""))
+        )
+        run_callbacks()
+
+    # ------------------------------------------------------------------
     # Scheduling primitives
     # ------------------------------------------------------------------
     def schedule(self, event: Event, delay: float = 0.0) -> None:
@@ -129,14 +251,20 @@ class Simulation:
             raise ValueError(
                 f"schedule() delay must be finite and >= 0, got {delay!r}"
             )
-        seq = self._sequence
-        self._sequence = seq + 1
+        if self._tie_fast:
+            seq = self._sequence
+            self._sequence = seq + 1
+        else:
+            seq = self._next_key(event)
         heappush(self._queue, (self.clock._now + delay, seq, event))
 
     def _schedule_now(self, event: Event) -> None:
         """Internal zero-delay enqueue (succeed/fail/process resume path)."""
-        seq = self._sequence
-        self._sequence = seq + 1
+        if self._tie_fast:
+            seq = self._sequence
+            self._sequence = seq + 1
+        else:
+            seq = self._next_key(event)
         heappush(self._queue, (self.clock._now, seq, event))
 
     def schedule_many(self, delays: Iterable[float]) -> List[Timeout]:
@@ -148,6 +276,16 @@ class Simulation:
         of slots without per-event scheduling overhead.  The batch is
         validated before anything is enqueued: a bad delay leaves the queue
         untouched.
+
+        **Sequence-number contract** (pinned by
+        ``tests/sim/test_tie_break.py::TestScheduleManyContract``): the
+        batch consumes consecutive sequence numbers *in list order*,
+        exactly as if each delay had been passed to an individual
+        :meth:`timeout` call at the same instant.  Two delays that land on
+        the same timestamp therefore dispatch in list order under
+        ``fifo``, reverse list order under ``lifo``, and a seeded
+        permutation under ``shuffle:<seed>`` — byte-identically to the
+        equivalent interleaved single calls under the same policy.
         """
         batch = list(delays)
         for delay in batch:
@@ -157,22 +295,35 @@ class Simulation:
                 )
         queue = self._queue
         now = self.clock._now
-        seq = self._sequence
         out: List[Timeout] = []
         append = out.append
-        for delay in batch:
-            timeout = Timeout.__new__(Timeout)
-            timeout.sim = self
-            timeout._name = ""
-            timeout._callbacks = _NO_CALLBACKS
-            timeout._value = None
-            timeout._exception = None
-            timeout._defused = False
-            timeout.delay = delay
-            heappush(queue, (now + delay, seq, timeout))
-            seq += 1
-            append(timeout)
-        self._sequence = seq
+        if self._tie_fast:
+            seq = self._sequence
+            for delay in batch:
+                timeout = Timeout.__new__(Timeout)
+                timeout.sim = self
+                timeout._name = ""
+                timeout._callbacks = _NO_CALLBACKS
+                timeout._value = None
+                timeout._exception = None
+                timeout._defused = False
+                timeout.delay = delay
+                heappush(queue, (now + delay, seq, timeout))
+                seq += 1
+                append(timeout)
+            self._sequence = seq
+        else:
+            for delay in batch:
+                timeout = Timeout.__new__(Timeout)
+                timeout.sim = self
+                timeout._name = ""
+                timeout._callbacks = _NO_CALLBACKS
+                timeout._value = None
+                timeout._exception = None
+                timeout._defused = False
+                timeout.delay = delay
+                heappush(queue, (now + delay, self._next_key(timeout), timeout))
+                append(timeout)
         return out
 
     def event(self, name: str = "") -> Event:
@@ -294,3 +445,24 @@ class Simulation:
     def run_days(self, days: float) -> None:
         """Convenience: run for ``days`` simulated days from the current time."""
         self.run(until=self.clock._now + days * 86400.0)
+
+
+#: Source files whose frames are skipped when attributing an enqueue to a
+#: callsite: the kernel's own plumbing (schedule → Timeout.__init__ →
+#: _next_key) is never the interesting frame.
+import repro.sim.events as _events_mod
+import repro.sim.process as _process_mod
+
+_KERNEL_FILES = frozenset(
+    {__file__, _events_mod.__file__, _process_mod.__file__}
+)
+
+
+def _schedule_site() -> Tuple[str, int]:
+    """(file, line) of the first non-kernel frame above the enqueue."""
+    frame = _sys._getframe(2)
+    while frame is not None and frame.f_code.co_filename in _KERNEL_FILES:
+        frame = frame.f_back
+    if frame is None:
+        return ("<kernel>", 0)
+    return (frame.f_code.co_filename, frame.f_lineno)

@@ -49,8 +49,11 @@ class Process(Event):
         initial._value = None
         initial._exception = None
         initial._defused = False
-        seq = sim._sequence
-        sim._sequence = seq + 1
+        if sim._tie_fast:
+            seq = sim._sequence
+            sim._sequence = seq + 1
+        else:
+            seq = sim._next_key(initial)
         heappush(sim._queue, (sim.clock._now, seq, initial))
 
     @property
@@ -117,8 +120,11 @@ class Process(Event):
         except StopIteration as stop:
             self._value = stop.value
             sim = self.sim
-            seq = sim._sequence
-            sim._sequence = seq + 1
+            if sim._tie_fast:
+                seq = sim._sequence
+                sim._sequence = seq + 1
+            else:
+                seq = sim._next_key(self)
             heappush(sim._queue, (sim.clock._now, seq, self))
             return
         except ProcessKilled:

@@ -5,7 +5,12 @@ import textwrap
 
 import pytest
 
-from repro.lint.engine import lint_paths, lint_source, parse_suppressions
+from repro.lint.engine import (
+    lint_paths,
+    lint_source,
+    parse_file_suppressions,
+    parse_suppressions,
+)
 from repro.lint.rules import default_rules
 
 VIOLATION = "import numpy as np\nrng = np.random.default_rng(1)\n"
@@ -53,6 +58,66 @@ class TestSuppression:
         assert mapping[2] == {"wall-clock", "rng-discipline"}
         assert 3 not in mapping
         assert mapping[4] == {"all"}
+
+
+class TestFileSuppression:
+    def test_disable_file_silences_rule_everywhere(self):
+        source = (
+            "# repro-lint: disable-file=rng-discipline\n"
+            "import numpy as np\n"
+            "rng = np.random.default_rng(1)\n"
+            "other = np.random.default_rng(2)\n"
+        )
+        assert lint_source(source) == []
+
+    def test_only_named_rules_suppressed(self):
+        source = (
+            "# repro-lint: disable-file=wall-clock\n"
+            "import numpy as np\n"
+            "rng = np.random.default_rng(1)\n"
+        )
+        assert [f.rule for f in lint_source(source)] == ["rng-discipline"]
+
+    def test_disable_file_all_rejected(self):
+        source = (
+            "# repro-lint: disable-file=all\n"
+            "import numpy as np\n"
+            "rng = np.random.default_rng(1)\n"
+        )
+        assert [f.rule for f in lint_source(source)] == ["rng-discipline"]
+
+    def test_directive_outside_window_ignored(self):
+        source = (
+            "a = 1\nb = 2\nc = 3\nd = 4\ne = 5\n"
+            "# repro-lint: disable-file=rng-discipline\n"
+            "import numpy as np\n"
+            "rng = np.random.default_rng(1)\n"
+        )
+        assert [f.rule for f in lint_source(source)] == ["rng-discipline"]
+
+    def test_directive_inside_docstring_ignored(self):
+        source = (
+            '"""# repro-lint: disable-file=rng-discipline"""\n'
+            "import numpy as np\n"
+            "rng = np.random.default_rng(1)\n"
+        )
+        assert [f.rule for f in lint_source(source)] == ["rng-discipline"]
+
+    def test_comma_separated_rules(self):
+        source = (
+            "# repro-lint: disable-file=rng-discipline, wall-clock\n"
+            "import numpy as np\n"
+            "import time\n"
+            "rng = np.random.default_rng(1)\n"
+            "t = time.time()\n"
+        )
+        assert lint_source(source) == []
+
+    def test_parse_file_suppressions(self):
+        assert parse_file_suppressions(
+            "# repro-lint: disable-file=a-rule,b-rule\n") == {"a-rule", "b-rule"}
+        assert parse_file_suppressions("# repro-lint: disable-file=all\n") == set()
+        assert parse_file_suppressions("# repro-lint: disable=a-rule\n") == set()
 
 
 class TestSelection:

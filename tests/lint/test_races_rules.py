@@ -1,0 +1,217 @@
+"""Fixtures for the event-ordering race rules (the static prong).
+
+Each rule fires on a minimal violating snippet and stays quiet on the
+compliant rewrite, mirroring ``test_rules.py``; the shipped tree check at
+the bottom is the same gate CI runs via ``repro-sim races``.
+"""
+
+import textwrap
+
+from repro.lint.engine import lint_source
+from repro.lint.races import RACE_RULE_IDS
+from repro.lint.rules import default_rules
+
+
+def findings_for(snippet, rule=None, path="src/repro/example.py"):
+    rules = default_rules(select=[rule] if rule else list(RACE_RULE_IDS))
+    return lint_source(textwrap.dedent(snippet), path=path, rules=rules)
+
+
+def rule_ids(findings):
+    return [f.rule for f in findings]
+
+
+class TestSameTimeSchedule:
+    def test_fires_on_same_time_writers(self):
+        found = findings_for(
+            """
+            def arm(sim, state):
+                sim.call_at(10.0, lambda: state.update(a=1))
+                sim.call_at(10.0, lambda: state.update(a=2))
+            """,
+            rule="same-time-schedule",
+        )
+        assert rule_ids(found) == ["same-time-schedule"]
+        assert "state" in found[0].message
+        assert found[0].line == 4  # anchored at the later call
+
+    def test_fires_on_method_callbacks(self):
+        found = findings_for(
+            """
+            class Station:
+                def arm(self):
+                    self.sim.call_at(3600.0, self.first)
+                    self.sim.call_at(3600.0, self.second)
+
+                def first(self):
+                    self.backlog = []
+
+                def second(self):
+                    self.backlog = [1]
+            """,
+            rule="same-time-schedule",
+        )
+        assert rule_ids(found) == ["same-time-schedule"]
+
+    def test_normalises_int_and_float_times(self):
+        found = findings_for(
+            """
+            def arm(sim, state):
+                sim.call_at(0, lambda: state.update(a=1))
+                sim.call_at(0.0, lambda: state.update(a=2))
+            """,
+            rule="same-time-schedule",
+        )
+        assert rule_ids(found) == ["same-time-schedule"]
+
+    def test_quiet_on_different_times(self):
+        found = findings_for(
+            """
+            def arm(sim, state):
+                sim.call_at(10.0, lambda: state.update(a=1))
+                sim.call_at(20.0, lambda: state.update(a=2))
+            """,
+            rule="same-time-schedule",
+        )
+        assert found == []
+
+    def test_quiet_on_disjoint_state(self):
+        found = findings_for(
+            """
+            def arm(sim, first, second):
+                sim.call_at(10.0, lambda: first.update(a=1))
+                sim.call_at(10.0, lambda: second.update(a=2))
+            """,
+            rule="same-time-schedule",
+        )
+        assert found == []
+
+    def test_inline_suppression(self):
+        found = findings_for(
+            """
+            def arm(sim, state):
+                sim.call_at(10.0, lambda: state.update(a=1))
+                sim.call_at(10.0, lambda: state.update(a=2))  # repro-lint: disable=same-time-schedule
+            """,
+            rule="same-time-schedule",
+        )
+        assert found == []
+
+
+class TestOrderDependentCallback:
+    def test_fires_on_read_after_sibling_write(self):
+        found = findings_for(
+            """
+            def arm(sim, trace, state):
+                sim.call_at(10.0, lambda: state.update(a=1))
+                sim.call_at(10.0, lambda: trace.emit(state))
+            """,
+            rule="order-dependent-callback",
+        )
+        assert rule_ids(found) == ["order-dependent-callback"]
+        # Anchored at the reading callback.
+        assert found[0].line == 4
+
+    def test_fires_via_timeout_callbacks_append(self):
+        found = findings_for(
+            """
+            def arm(sim, counter, trace):
+                def bump():
+                    counter.append(1)
+
+                def report():
+                    trace.emit(len(counter))
+
+                first = sim.timeout(0)
+                first.callbacks.append(bump)
+                second = sim.timeout(0)
+                second.callbacks.append(report)
+            """,
+            rule="order-dependent-callback",
+        )
+        assert rule_ids(found) == ["order-dependent-callback"]
+
+    def test_quiet_when_reader_runs_later(self):
+        found = findings_for(
+            """
+            def arm(sim, trace, state):
+                sim.call_at(10.0, lambda: state.update(a=1))
+                sim.call_at(10.5, lambda: trace.emit(state))
+            """,
+            rule="order-dependent-callback",
+        )
+        assert found == []
+
+    def test_quiet_on_callback_locals(self):
+        found = findings_for(
+            """
+            def arm(sim, trace):
+                def first():
+                    scratch = [1]
+                    trace.note(scratch)
+
+                def second():
+                    scratch = [2]
+                    trace.note(scratch)
+
+                sim.call_at(10.0, first)
+                sim.call_at(10.0, second)
+            """,
+            rule="same-time-schedule",
+        )
+        assert found == []
+
+
+class TestTieBreakAssumption:
+    def test_fires_on_queue_access(self):
+        found = findings_for(
+            """
+            def depth(sim):
+                return len(sim._queue)
+            """,
+            rule="tie-break-assumption",
+        )
+        assert rule_ids(found) == ["tie-break-assumption"]
+
+    def test_fires_on_sequence_access(self):
+        found = findings_for(
+            """
+            def scheduled(sim):
+                return sim._sequence
+            """,
+            rule="tie-break-assumption",
+        )
+        assert rule_ids(found) == ["tie-break-assumption"]
+
+    def test_kernel_files_exempt(self):
+        snippet = """
+            def depth(self):
+                return len(self._queue)
+            """
+        assert findings_for(snippet, rule="tie-break-assumption",
+                            path="src/repro/sim/kernel.py") == []
+        assert findings_for(snippet, rule="tie-break-assumption",
+                            path="src/repro/sim/process.py") == []
+
+    def test_quiet_on_public_accessors(self):
+        found = findings_for(
+            """
+            def depth(sim):
+                return (sim.queue_depth, sim.events_scheduled, sim.peek())
+            """,
+            rule="tie-break-assumption",
+        )
+        assert found == []
+
+
+class TestShippedTree:
+    def test_shipped_tree_has_no_race_findings(self):
+        """The real source tree is clean under all three race rules."""
+        import pathlib
+
+        from repro.lint.engine import lint_paths
+
+        src = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+        findings = lint_paths([str(src)],
+                              rules=default_rules(select=list(RACE_RULE_IDS)))
+        assert findings == [], [str(f) for f in findings]
