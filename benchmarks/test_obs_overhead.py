@@ -5,12 +5,18 @@ spans OFF) must cost the kernel hot loop less than 10% versus running with
 no Observability attached at all.  The opt-in kernel-span tier is timed
 too, but only reported — turning it on is an explicit request for
 per-event detail and is allowed to cost more.
+
+The provenance ledger rides the same budget: a full mission with the
+ledger subscribed must stay within 10% of the identical mission with it
+detached.  CI also re-times the two mission arms as pytest-benchmark
+rows gated against ``BENCH_obs.json``.
 """
 
 import time
 
 import pytest
 
+from repro.core import Deployment, DeploymentConfig
 from repro.sim import Simulation
 
 EVENTS = 5000
@@ -90,3 +96,82 @@ def test_throughput_comparison(benchmark, build, label):
         return timeout_workload(build())
 
     assert benchmark(run) == 96.0
+
+
+# ----------------------------------------------------------------------
+# Provenance ledger A/B (mission workload, not the bare kernel loop)
+# ----------------------------------------------------------------------
+MISSION_DAYS = 2.0
+MISSION_SEED = 1
+MISSION_REPEATS = 5
+
+
+def mission(provenance: bool) -> Deployment:
+    deployment = Deployment(DeploymentConfig(seed=MISSION_SEED))
+    if not provenance:
+        deployment.sim.obs.provenance.detach()
+        deployment.sim.obs.provenance = None
+    deployment.run_days(MISSION_DAYS)
+    return deployment
+
+
+def test_provenance_overhead_under_10_percent():
+    """Ledger marginal cost vs the ledger-off mission: <10% (the S5 guard).
+
+    A whole-mission on/off A/B cannot resolve a 10% budget here — host
+    jitter on a ~40 ms mission routinely exceeds it.  The ledger is a
+    pure trace subscriber (it does no work outside ``observe``), so its
+    marginal cost *is* the cost of feeding the mission's record stream
+    through ``observe`` — which times stably, and is compared against the
+    best ledger-off mission time.
+    """
+    deployment = mission(True)
+    records = deployment.sim.trace.records
+    assert records, "mission produced no trace records"
+    from repro.obs.provenance import ProvenanceLedger
+
+    replay = float("inf")
+    for _ in range(20):
+        ledger = ProvenanceLedger()
+        start = time.perf_counter()
+        for record in records:
+            ledger.observe(record)
+        replay = min(replay, time.perf_counter() - start)
+    baseline = float("inf")
+    for _ in range(MISSION_REPEATS):
+        start = time.perf_counter()
+        mission(False)
+        baseline = min(baseline, time.perf_counter() - start)
+    overhead = replay / baseline
+    assert overhead < 0.10, (
+        f"provenance ledger costs {overhead:.1%} of the mission "
+        f"(ledger {replay * 1e3:.2f} ms over {len(records)} records, "
+        f"mission {baseline * 1e3:.2f} ms)"
+    )
+
+
+def test_mission_with_provenance(benchmark):
+    """BENCH_obs row: the mission with the ledger subscribed.
+
+    ``extra_info`` pins the deterministic artifact accounting for the
+    benchmark seed, so check_regression bounds correctness alongside time.
+    """
+    deployments = []
+
+    def run():
+        deployments.append(mission(True))
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    report = deployments[-1].sim.obs.finalise(deployments[-1].sim)
+    assert report.ok
+    benchmark.extra_info["provenance_created"] = report.created
+    benchmark.extra_info["provenance_conserved"] = 1 if report.conserved else 0
+
+
+def test_mission_without_provenance(benchmark):
+    """BENCH_obs row: the identical mission with the ledger detached."""
+
+    def run():
+        mission(False)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -7,4 +7,4 @@ entry point; README.md for the architecture overview; DESIGN.md and
 EXPERIMENTS.md for the reproduction inventory and results.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

@@ -1,0 +1,85 @@
+"""Campaign results tables, generated straight from rollup JSON.
+
+The offline results-table workflow (cf. the slp result tables in
+PAPERS.md): a sweep writes its streaming metric rollup with
+``--rollup-out``, shards from separate invocations merge with
+``repro-sim rollup``, and this module renders the merged document as the
+plain-text tables a campaign write-up starts from — no re-simulation, no
+per-run files, just the aggregate.
+
+The input is the canonical rollup document
+(:meth:`repro.obs.rollup.RollupAggregate.to_doc`); rendering preserves
+its ordering, so the table is as byte-stable as the rollup itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.analysis.report import format_table
+
+
+def _label_text(labels: Mapping[str, str]) -> str:
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items())) or "-"
+
+
+def _fmt(value: float) -> str:
+    number = float(value)
+    if number.is_integer() and abs(number) < 1e15:
+        return str(int(number))
+    return f"{number:.6g}"
+
+
+def campaign_table(doc: Mapping[str, object]) -> str:
+    """Render one merged rollup document as the campaign results tables."""
+    version = doc.get("version")
+    if version != 1:
+        raise ValueError(f"unsupported rollup version {version!r}")
+    counters: List[Tuple[str, str, str]] = []
+    gauges: List[Tuple[str, str, str]] = []
+    histograms: List[Tuple[str, str, int, str]] = []
+    for entry in doc["metrics"]:  # type: ignore[index]
+        name = entry["name"]
+        labels = _label_text(entry["labels"])
+        if entry["kind"] == "counter":
+            counters.append((name, labels, _fmt(entry["value"])))
+        elif entry["kind"] == "gauge":
+            gauges.append((name, labels, _fmt(entry["value"])))
+        else:
+            count = int(entry["count"])
+            mean = float(entry["sum"]) / count if count else 0.0
+            histograms.append((name, labels, count, _fmt(mean)))
+
+    runs = doc.get("runs", 0)
+    sections = [f"Campaign rollup: {runs} run(s), "
+                f"{len(counters) + len(gauges) + len(histograms)} metric(s)"]
+    if counters:
+        sections.append(format_table(
+            ["Counter", "Labels", "Total"], counters,
+            title="Counters (summed across runs)"))
+    if histograms:
+        sections.append(format_table(
+            ["Histogram", "Labels", "n", "Mean"], histograms,
+            title="Histograms (merged bucket-wise)"))
+    if gauges:
+        sections.append(format_table(
+            ["Gauge", "Labels", "Value"], gauges,
+            title="Gauges (last by deterministic run key)"))
+    return "\n\n".join(sections) + "\n"
+
+
+def conservation_summary(doc: Mapping[str, object]) -> Dict[str, float]:
+    """Provenance conservation gauges/counters pulled out of a rollup.
+
+    Returns a name -> value mapping for the ``provenance_*`` families
+    (empty when the sweep ran without provenance) — the hook the CI
+    telemetry smoke greps through.
+    """
+    out: Dict[str, float] = {}
+    for entry in doc["metrics"]:  # type: ignore[index]
+        name = entry["name"]
+        if name.startswith("provenance_") and "value" in entry:
+            labels = _label_text(entry["labels"])
+            key = name if labels == "-" else f"{name}{{{labels}}}"
+            out[key] = float(entry["value"])
+    return out

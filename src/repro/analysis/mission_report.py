@@ -168,6 +168,22 @@ def _observability_section(deployment) -> str:
     return "Observability\n" + "\n".join(f"  {line}" for line in lines)
 
 
+def _provenance_section(deployment) -> str:
+    obs = deployment.sim.obs
+    if obs.provenance is None:
+        return "Data provenance\n  disabled"
+    report = obs.provenance.finish(deployment.sim.now)
+    return "Data provenance\n" + "\n".join(
+        f"  {line}" for line in report.format().splitlines())
+
+
+def _alerts_section(deployment) -> str:
+    engine = deployment.alert_engine
+    engine.finish(deployment.sim.now, metrics=deployment.sim.obs.metrics)
+    return "Alerts\n" + "\n".join(
+        f"  {line}" for line in engine.format().splitlines())
+
+
 def _incidents_section(deployment) -> str:
     trace = deployment.sim.trace
     incidents: List[str] = []
@@ -206,6 +222,9 @@ def mission_report(deployment) -> str:
         _probe_section(deployment),
         _science_section(deployment),
         _observability_section(deployment),
-        _incidents_section(deployment),
+        _provenance_section(deployment),
     ]
+    if getattr(deployment, "alert_engine", None) is not None:
+        sections.append(_alerts_section(deployment))
+    sections.append(_incidents_section(deployment))
     return "\n\n".join(sections)

@@ -9,6 +9,9 @@ Usage::
     repro-sim metrics --days 7 --seed 0
     repro-sim simulate --days 2 --metrics-out metrics.prom --spans-out spans.json
     repro-sim sweep --days 7 --seeds 0,1,2,3 --param solar_w=5,10 --jobs 4
+    repro-sim sweep --days 7 --seeds 0,1 --rollup-out rollup.json \\
+        --alerts examples/alerts/mission_slo.json
+    repro-sim rollup shard_a.json shard_b.json --table
     repro-sim lint src/repro --check-determinism
     repro-sim races --days 45 --faults examples/faults/canonical_chaos.json
 
@@ -68,6 +71,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault plan to arm before the run (JSON; see "
                             "repro.faults) — same seed + same plan replays "
                             "byte-identically")
+        p.add_argument("--alerts", metavar="RULES.json", default=None,
+                       help="declarative alert/SLO rules evaluated against "
+                            "the run (JSON; see docs/telemetry_rollup.md)")
 
     simulate = sub.add_parser("simulate", help="run a deployment and summarise")
     common(simulate)
@@ -84,6 +90,8 @@ def build_parser() -> argparse.ArgumentParser:
     metrics = sub.add_parser(
         "metrics", help="run, then print the Prometheus metrics dump")
     common(metrics)
+    metrics.add_argument("--format", choices=("prom", "json"), default="prom",
+                         help="metrics dump format (default: prom)")
 
     export = sub.add_parser("export", help="run, then print archive data as CSV/JSON")
     common(export)
@@ -125,6 +133,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault plan to cross into the grid; repeatable. "
                             "Use the literal 'none' for the fault-free "
                             "baseline alongside plan files")
+    sweep.add_argument("--alerts", metavar="RULES.json", default=None,
+                       help="alert rules evaluated inside every run; "
+                            "per-run firings land in the run summaries "
+                            "and alerts_fired_total in the rollup")
+    sweep.add_argument("--rollup-out", metavar="FILE", default=None,
+                       help="write the streaming campaign metric rollup "
+                            "(canonical JSON, byte-identical across --jobs "
+                            "and cache states)")
+
+    rollup = sub.add_parser(
+        "rollup",
+        help="merge rollup JSON shards from separate sweeps into one "
+             "campaign aggregate",
+    )
+    rollup.add_argument("shards", nargs="+", metavar="ROLLUP.json",
+                        help="rollup files written by sweep --rollup-out")
+    rollup.add_argument("--output", metavar="FILE", default=None,
+                        help="write the merged rollup here instead of stdout")
+    rollup.add_argument("--table", action="store_true",
+                        help="print the campaign results table "
+                             "(analysis/campaign_table) instead of JSON")
 
     races = sub.add_parser(
         "races",
@@ -193,6 +222,19 @@ def _build_deployment(args, check_invariants: bool = False) -> Deployment:
             deployment, check_invariants=check_invariants)
     if args.override is not None:
         deployment.set_manual_override(args.override)
+    #: Armed alert engine (None without --alerts); every command that
+    #: finalises observability also settles and prints its firings.
+    deployment.alert_engine = None
+    if getattr(args, "alerts", None):
+        from repro.obs.alerts import AlertEngine
+
+        try:
+            engine = AlertEngine.from_file(args.alerts,
+                                           metrics=deployment.sim.obs.metrics)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"repro-sim: cannot load alert rules: {exc}")
+        engine.attach(deployment.sim.trace)
+        deployment.alert_engine = engine
     if getattr(args, "spans_out", None):
         deployment.sim.obs.enable_kernel_spans()
     if getattr(args, "self_profile", False):
@@ -200,12 +242,34 @@ def _build_deployment(args, check_invariants: bool = False) -> Deployment:
     return deployment
 
 
-def _write_observability(deployment: Deployment, args) -> None:
+def _write_file(path: str, text: str) -> int:
+    """Write an exporter artefact; unwritable paths are a clean error.
+
+    Returns 0 on success, 2 (with a message on stderr, no traceback) when
+    the path cannot be written — the S2 contract for exporter-facing CLI
+    paths.
+    """
+    try:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    except OSError as exc:
+        print(f"repro-sim: cannot write {path}: {exc.strerror or exc}",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def _write_observability(deployment: Deployment, args) -> int:
     """Honour ``--metrics-out`` / ``--spans-out`` / ``--self-profile``.
 
     File format follows the extension: ``.json`` selects the JSON metric
     dump / Chrome trace JSON, ``.ndjson`` selects span NDJSON, anything
     else gets Prometheus text (metrics) or Chrome trace JSON (spans).
+
+    Finalises observability first (kernel gauges, provenance close-out,
+    alert settlement) so every dump carries the complete mission view.
+    Returns a process exit code: 0, or 2 when an output path is
+    unwritable.
     """
     from repro.obs.export import (
         metrics_to_json,
@@ -215,29 +279,39 @@ def _write_observability(deployment: Deployment, args) -> None:
     )
 
     obs = deployment.sim.obs
-    obs.collect_kernel(deployment.sim)
+    obs.finalise(deployment.sim)
+    engine = getattr(deployment, "alert_engine", None)
+    if engine is not None:
+        engine.finish(deployment.sim.now)
+    code = 0
     if getattr(args, "metrics_out", None):
         if args.metrics_out.endswith(".json"):
             text = metrics_to_json(obs.metrics)
         else:
             text = metrics_to_prometheus(obs.metrics)
-        with open(args.metrics_out, "w", encoding="utf-8") as fh:
-            fh.write(text)
+        code = _write_file(args.metrics_out, text) or code
     if getattr(args, "spans_out", None):
         if args.spans_out.endswith(".ndjson"):
             text = spans_to_ndjson(obs.spans)
         else:
             text = spans_to_chrome_trace(obs.spans)
-        with open(args.spans_out, "w", encoding="utf-8") as fh:
-            fh.write(text)
+        code = _write_file(args.spans_out, text) or code
     if getattr(args, "self_profile", False) and obs.profile is not None:
         print(obs.profile.report(), file=sys.stderr)
+    return code
+
+
+def _print_alerts(deployment: Deployment) -> None:
+    engine = getattr(deployment, "alert_engine", None)
+    if engine is not None:
+        print()
+        print(engine.format())
 
 
 def _cmd_simulate(args) -> int:
     deployment = _build_deployment(args)
     deployment.run_days(args.days)
-    _write_observability(deployment, args)
+    code = _write_observability(deployment, args)
     rows = []
     for station in deployment.stations:
         rows.append(
@@ -257,13 +331,14 @@ def _cmd_simulate(args) -> int:
     ))
     print(f"\nProbes alive: {deployment.surviving_probes()}/{len(deployment.probes)}; "
           f"readings collected: {deployment.base.readings_collected}")
-    return 0
+    _print_alerts(deployment)
+    return code
 
 
 def _cmd_science(args) -> int:
     deployment = _build_deployment(args)
     deployment.run_days(args.days)
-    _write_observability(deployment, args)
+    code = _write_observability(deployment, args)
     archive = ScienceArchive(deployment.server)
     velocities = archive.daily_velocity()
     print(format_table(
@@ -283,13 +358,14 @@ def _cmd_science(args) -> int:
         print()
         print(format_table(["Probe", "Readings", "Latest conductivity (µS)"], rows,
                            title="Sub-glacial probes"))
-    return 0
+    _print_alerts(deployment)
+    return code
 
 
 def _cmd_health(args) -> int:
     deployment = _build_deployment(args)
     deployment.run_days(args.days)
-    _write_observability(deployment, args)
+    code = _write_observability(deployment, args)
     archive = ScienceArchive(deployment.server)
     rows = []
     for station in ("base", "reference"):
@@ -309,7 +385,8 @@ def _cmd_health(args) -> int:
         rows,
         title=f"Station health after {args.days:g} days",
     ))
-    return 0
+    _print_alerts(deployment)
+    return code
 
 
 def _cmd_report(args) -> int:
@@ -317,19 +394,22 @@ def _cmd_report(args) -> int:
 
     deployment = _build_deployment(args)
     deployment.run_days(args.days)
-    _write_observability(deployment, args)
+    code = _write_observability(deployment, args)
     print(mission_report(deployment))
-    return 0
+    return code
 
 
 def _cmd_metrics(args) -> int:
-    from repro.obs.export import metrics_to_prometheus
+    from repro.obs.export import metrics_to_json, metrics_to_prometheus
 
     deployment = _build_deployment(args)
     deployment.run_days(args.days)
-    _write_observability(deployment, args)
-    print(metrics_to_prometheus(deployment.sim.obs.metrics), end="")
-    return 0
+    code = _write_observability(deployment, args)
+    if args.format == "json":
+        print(metrics_to_json(deployment.sim.obs.metrics), end="")
+    else:
+        print(metrics_to_prometheus(deployment.sim.obs.metrics), end="")
+    return code
 
 
 def _cmd_inject(args) -> int:
@@ -346,14 +426,21 @@ def _cmd_inject(args) -> int:
         deployment.fault_engine = apply_fault_plan(
             deployment, canonical_chaos_plan(), check_invariants=True)
     deployment.run_days(args.days)
-    _write_observability(deployment, args)
+    code = _write_observability(deployment, args)
     report = deployment.fault_engine.finish()
     text = report.format()
+    conservation = deployment.sim.obs.finalise(deployment.sim)
+    if conservation is not None:
+        text += "\n" + conservation.format()
     print(text)
+    _print_alerts(deployment)
     if args.report_out:
-        with open(args.report_out, "w", encoding="utf-8") as fh:
-            fh.write(text + "\n")
-    return 0 if report.ok else 1
+        code = _write_file(args.report_out, text + "\n") or code
+    if not report.ok:
+        return 1
+    if conservation is not None and not conservation.ok:
+        return 1
+    return code
 
 
 def _cmd_export(args) -> int:
@@ -365,11 +452,11 @@ def _cmd_export(args) -> int:
 
     deployment = _build_deployment(args)
     deployment.run_days(args.days)
-    _write_observability(deployment, args)
+    code = _write_observability(deployment, args)
     archive = ScienceArchive(deployment.server)
     if args.what == "snapshot":
         print(archive_snapshot_json(archive))
-        return 0
+        return code
     if args.what == "velocity":
         series = [(float(d) * 86400.0, v) for d, v in archive.daily_velocity()]
         name = "velocity_m_per_day"
@@ -381,7 +468,7 @@ def _cmd_export(args) -> int:
     else:
         print(series_to_json(series, value_name=name,
                              metadata={"seed": args.seed, "days": args.days}))
-    return 0
+    return code
 
 
 def _parse_param_value(raw: str):
@@ -398,6 +485,8 @@ def _parse_param_value(raw: str):
 
 
 def _cmd_sweep(args) -> int:
+    import json
+
     from repro.fleet import SweepCache, SweepSpec, expand_grid, run_sweep, sweep_to_json
 
     params = {}
@@ -409,8 +498,6 @@ def _cmd_sweep(args) -> int:
     seeds = [int(s) for s in args.seeds.split(",") if s]
     fault_plans = None
     if args.faults:
-        import json
-
         fault_plans = []
         for path in args.faults:
             if path == "none":
@@ -418,22 +505,66 @@ def _cmd_sweep(args) -> int:
             else:
                 with open(path, "r", encoding="utf-8") as fh:
                     fault_plans.append(json.load(fh))
+    alert_rules = None
+    if args.alerts:
+        from repro.obs.alerts import AlertEngine
+
+        try:
+            with open(args.alerts, "r", encoding="utf-8") as fh:
+                alert_rules = json.load(fh)
+            AlertEngine(alert_rules)  # validate once, before fan-out
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"repro-sim: cannot load alert rules: {exc}")
     spec = SweepSpec(grid=expand_grid(params), seeds=seeds, days=args.days,
-                     fault_plans=fault_plans)
+                     fault_plans=fault_plans, alert_rules=alert_rules)
     cache = None if args.no_cache else SweepCache(args.cache_dir)
     result = run_sweep(spec, jobs=args.jobs, cache=cache)
     text = sweep_to_json(result)
+    code = 0
     if args.output:
-        with open(args.output, "w", encoding="utf-8") as fh:
-            fh.write(text)
+        code = _write_file(args.output, text) or code
     else:
         print(text)
+    if args.rollup_out and result.rollup is not None:
+        code = _write_file(args.rollup_out, result.rollup.to_json()) or code
     print(
         f"sweep: {len(result.runs)} runs "
         f"({result.cache_hits} cached, {result.cache_misses} computed, "
         f"jobs={args.jobs})",
         file=sys.stderr,
     )
+    return code
+
+
+def _cmd_rollup(args) -> int:
+    """Merge rollup shards; print (or write) the campaign aggregate."""
+    import json
+
+    from repro.obs.rollup import merge_rollups
+
+    docs = []
+    for path in args.shards:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                docs.append(json.load(fh))
+        except (OSError, ValueError) as exc:
+            print(f"repro-sim: cannot read rollup shard {path}: {exc}",
+                  file=sys.stderr)
+            return 2
+    try:
+        merged = merge_rollups(docs)
+    except ValueError as exc:
+        print(f"repro-sim: {exc}", file=sys.stderr)
+        return 1
+    if args.table:
+        from repro.analysis.campaign_table import campaign_table
+
+        text = campaign_table(merged)
+    else:
+        text = json.dumps(merged, indent=2, sort_keys=True) + "\n"
+    if args.output:
+        return _write_file(args.output, text)
+    print(text, end="")
     return 0
 
 
@@ -497,6 +628,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "export": _cmd_export,
         "inject": _cmd_inject,
         "sweep": _cmd_sweep,
+        "rollup": _cmd_rollup,
         "races": _cmd_races,
     }
     return handlers[args.command](args)

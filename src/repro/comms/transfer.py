@@ -108,6 +108,12 @@ def upload_files(
                     yield sim.process(modem.send(stored.size_bytes, label=stored.name))
                     result.sent.append(stored.name)
                     result.bytes_sent += stored.size_bytes
+                    # Provenance: the file's bytes crossed the link.  A
+                    # failed server-side ingest (on_file_sent raising
+                    # LinkDown) makes the retry loop send it again — the
+                    # ledger treats repeated "transferred" as idempotent.
+                    sim.trace.emit("prov", "transferred", station=station,
+                                   file=stored.name, bytes=stored.size_bytes)
                     metrics.inc("upload_files_total", station=station)
                     metrics.observe(
                         "upload_file_bytes", stored.size_bytes,

@@ -204,10 +204,25 @@ class Station:
     # ------------------------------------------------------------------
     # Data staging
     # ------------------------------------------------------------------
-    def _stage_file(self, kind: str, size_bytes: int, payload=None) -> str:
+    def _stage_file(self, kind: str, size_bytes: int, payload=None,
+                    artifact=None, probe=None, task=None, seqs=None) -> str:
         self._outbox_counter += 1
         name = f"outbox/{kind}/{self._outbox_counter:06d}"
         self.card.write(name, size_bytes, created=self.sim.now, payload=payload)
+        # Provenance: the outbox file is born queued; ``artifact`` (a gps
+        # observation) or ``probe``/``task``/``seqs`` (readings) name the
+        # science data it carries.  The dedicated "prov" source keeps these
+        # records out of the station's log-volume accounting, so staging
+        # telemetry cannot change simulated log sizes.
+        detail = {"station": self.name, "file": name, "file_kind": kind,
+                  "bytes": size_bytes}
+        if artifact is not None:
+            detail["artifact"] = artifact
+        if probe is not None:
+            detail["probe"] = probe
+            detail["task"] = task
+            detail["seqs"] = list(seqs or ())
+        self.sim.trace.emit("prov", "queued", **detail)
         return name
 
     def _stage_msp_data(self, voltage_log, sensor_log) -> None:
@@ -352,7 +367,8 @@ class Station:
                 except IOError:
                     self.sim.trace.emit(self.name, "gps_fetch_aborted")
                     return
-                self._stage_file("gps", fetched.size_bytes, payload=fetched.payload)
+                self._stage_file("gps", fetched.size_bytes, payload=fetched.payload,
+                                 artifact=f"gps:{stored.name}")
 
     def _comms_session(self, local_state: PowerState):
         """Connect, upload state + data, fetch override and special."""
@@ -391,7 +407,7 @@ class Station:
             def ingest(stored) -> None:
                 kind = stored.name.split("/")[1]
                 self.server.upload_data(self.name, stored.size_bytes, kind=kind,
-                                        payload=stored.payload)
+                                        payload=stored.payload, name=stored.name)
                 self.card.delete(stored.name)
 
             result = yield self.sim.process(
@@ -536,6 +552,9 @@ class BaseStation(Station):
                 self._stage_file(
                     "probes",
                     READING_BYTES * result.received_new,
+                    probe=probe.probe_id,
+                    task=result.task_id,
+                    seqs=result.new_seqs,
                     payload={
                         "probe_id": probe.probe_id,
                         "task_id": result.task_id,

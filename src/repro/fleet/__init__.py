@@ -15,11 +15,17 @@ of its inputs — which makes two things cheap:
 Merged sweep output is ordered by ``(config digest, seed)`` — never by
 completion order — so a sweep's JSON is byte-identical regardless of
 worker count or cache state.
+
+The runner also maintains a streaming campaign rollup: each job's final
+metrics snapshot is folded into one
+:class:`~repro.obs.rollup.RollupAggregate` as futures complete (and
+stripped from the run record), so the campaign-level metric view costs
+O(metric families), not O(runs) — see ``docs/telemetry_rollup.md``.
 """
 
 from repro.fleet.cache import SweepCache, config_digest, job_digest
 from repro.fleet.results import SweepResult, merge_runs, sweep_to_json
-from repro.fleet.runner import SweepJob, SweepSpec, expand_grid, run_sweep
+from repro.fleet.runner import SweepJob, SweepSpec, expand_grid, run_job, run_sweep
 
 __all__ = [
     "SweepCache",
@@ -30,6 +36,7 @@ __all__ = [
     "expand_grid",
     "job_digest",
     "merge_runs",
+    "run_job",
     "run_sweep",
     "sweep_to_json",
 ]

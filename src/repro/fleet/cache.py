@@ -38,13 +38,15 @@ def config_digest(overrides: Mapping[str, Any]) -> str:
 
 def job_digest(overrides: Mapping[str, Any], days: float, seed: int,
                version: Optional[str] = None,
-               fault_plan: Optional[Mapping[str, Any]] = None) -> str:
+               fault_plan: Optional[Mapping[str, Any]] = None,
+               alert_rules: Optional[Any] = None) -> str:
     """Digest of one run's full inputs — the cache key.
 
     ``version`` defaults to the installed ``repro.__version__`` at call
     time, so bumping the package version invalidates every cached run.
-    ``fault_plan`` (the plan's dict form) joins the key only when present,
-    so plain sweeps keep their existing cache entries.
+    ``fault_plan`` (the plan's dict form) and ``alert_rules`` (the parsed
+    rules document) join the key only when present, so plain sweeps keep
+    their existing cache entries.
     """
     if version is None:
         version = __version__
@@ -56,6 +58,8 @@ def job_digest(overrides: Mapping[str, Any], days: float, seed: int,
     }
     if fault_plan is not None:
         payload["fault_plan"] = dict(fault_plan)
+    if alert_rules is not None:
+        payload["alert_rules"] = alert_rules
     return hashlib.sha256(_canonical(payload).encode()).hexdigest()
 
 

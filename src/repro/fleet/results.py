@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro import __version__
 
@@ -24,11 +24,16 @@ class SweepResult:
     ``config_digest``, ``seed``, ``days`` and ``result`` (the per-run
     summary).  ``cache_hits``/``cache_misses`` are *not* serialised into
     the JSON — they vary between invocations of the identical sweep.
+    ``rollup`` is the streaming campaign aggregate
+    (:class:`repro.obs.rollup.RollupAggregate`) the runner folds metric
+    snapshots into as futures complete; it has its own canonical JSON
+    (``--rollup-out``) and never enters the sweep JSON.
     """
 
     runs: List[Dict[str, Any]] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
+    rollup: Optional[Any] = None
 
     @property
     def hit_rate(self) -> float:
@@ -45,6 +50,11 @@ def merge_runs(runs: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
     fault-plan key (its canonical JSON; "" when absent) slots between
     config and seed so fault-grid sweeps merge as deterministically as
     plain ones — and plain sweeps sort exactly as they always have.
+
+    Exact key duplicates (a cache hit racing a live run of the same job)
+    collapse to one record, **last wins** — safe because an identical key
+    implies an identical job digest, hence an identical summary; the
+    rollup fold relies on the same contract (one fold per key).
     """
 
     def key(run: Dict[str, Any]):
@@ -53,7 +63,10 @@ def merge_runs(runs: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
             plan, sort_keys=True, separators=(",", ":"))
         return (run["config_digest"], plan_key, run["seed"])
 
-    return sorted(runs, key=key)
+    deduped: Dict[Any, Dict[str, Any]] = {}
+    for run in runs:
+        deduped[key(run)] = run
+    return [deduped[k] for k in sorted(deduped)]
 
 
 def sweep_to_json(result: SweepResult) -> str:

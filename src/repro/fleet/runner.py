@@ -44,6 +44,9 @@ class SweepJob:
     config_digest: str
     digest: str
     fault_plan_json: Optional[str] = None
+    #: Canonical JSON of the alert-rules document (None = no rules);
+    #: string form for the same hashability/pickling reasons as the plan.
+    alert_rules_json: Optional[str] = None
 
 
 @dataclasses.dataclass
@@ -60,10 +63,14 @@ class SweepSpec:
     seeds: Sequence[int]
     days: float
     fault_plans: Optional[List[Optional[Dict[str, Any]]]] = None
+    #: Parsed alert-rules document applied to every run (None = no rules).
+    alert_rules: Optional[Any] = None
 
     def jobs(self) -> List[SweepJob]:
         """The expanded job list, validated, in deterministic order."""
         plans = self.fault_plans if self.fault_plans else [None]
+        rules_json = (None if self.alert_rules is None
+                      else _canonical_plan(self.alert_rules))
         out: List[SweepJob] = []
         for overrides in self.grid:
             unknown = set(overrides) - _STATION_FIELDS
@@ -83,15 +90,17 @@ class SweepSpec:
                             days=self.days,
                             config_digest=cfg_digest,
                             digest=job_digest(overrides, self.days, seed,
-                                              fault_plan=plan),
+                                              fault_plan=plan,
+                                              alert_rules=self.alert_rules),
                             fault_plan_json=plan_json,
+                            alert_rules_json=rules_json,
                         )
                     )
         return out
 
 
-def _canonical_plan(plan: Dict[str, Any]) -> str:
-    """Canonical JSON for a fault-plan dict (sorted keys, no whitespace)."""
+def _canonical_plan(plan: Any) -> str:
+    """Canonical JSON for a plan/rules document (sorted keys, compact)."""
     import json
 
     return json.dumps(plan, sort_keys=True, separators=(",", ":"))
@@ -116,18 +125,30 @@ def run_job(job: SweepJob) -> Dict[str, Any]:
     Top-level so it pickles into pool workers; everything it needs rides
     in the :class:`SweepJob`.
     """
+    import json
+
     base = StationConfig()
     for name, value in job.overrides:
         setattr(base, name, value)
     deployment = Deployment(DeploymentConfig(seed=job.seed, base=base))
     engine = None
     if job.fault_plan_json is not None:
-        import json
-
         from repro.faults import apply_fault_plan
 
         engine = apply_fault_plan(deployment, json.loads(job.fault_plan_json))
+    alert_engine = None
+    if job.alert_rules_json is not None:
+        from repro.obs.alerts import AlertEngine
+
+        sim = deployment.sim
+        alert_engine = AlertEngine(json.loads(job.alert_rules_json),
+                                   metrics=sim.obs.metrics)
+        alert_engine.attach(sim.trace)
     deployment.run_days(job.days)
+    obs = deployment.sim.obs
+    conservation = obs.finalise(deployment.sim)
+    if alert_engine is not None:
+        alert_engine.finish(deployment.sim.now)
     summary = summarise(deployment, job.days)
     if engine is not None:
         report = engine.finish()
@@ -137,6 +158,14 @@ def run_job(job: SweepJob) -> Dict[str, Any]:
             "resolved": len(report.resolved),
             "pending": len(report.pending),
         }
+    if conservation is not None:
+        summary["provenance"] = conservation.to_dict()
+    if alert_engine is not None:
+        summary["alerts"] = alert_engine.summary()
+    # The full registry snapshot rides in the summary so cache hits can be
+    # folded into the campaign rollup without re-running anything; the
+    # parent strips it from run records after folding.
+    summary["metrics"] = obs.metrics.snapshot()
     return summary
 
 
@@ -178,6 +207,24 @@ def _record(job: SweepJob, summary: Dict[str, Any]) -> Dict[str, Any]:
     return record
 
 
+def _absorb(result: SweepResult, job: SweepJob,
+            summary: Dict[str, Any]) -> None:
+    """Fold one finished run into the sweep: rollup first, record second.
+
+    The metrics snapshot is folded into the campaign aggregate and then
+    *stripped* from the run record — the runner holds only the aggregate,
+    never per-run registries, which is what lets million-run sweeps
+    stream.  Folding is keyed by (config digest, fault plan, seed), so
+    the aggregate is order-independent regardless of completion order.
+    """
+    snapshot = summary.pop("metrics", None)
+    if snapshot is not None and result.rollup is not None:
+        result.rollup.fold(
+            (job.config_digest, job.fault_plan_json or "", job.seed),
+            snapshot)
+    result.runs.append(_record(job, summary))
+
+
 def run_sweep(
     spec: SweepSpec,
     jobs: int = 1,
@@ -189,13 +236,15 @@ def run_sweep(
     in-process (no pool, no pickling), which is also the path coverage
     tools and debuggers see.
     """
+    from repro.obs.rollup import RollupAggregate
+
     all_jobs = spec.jobs()
-    result = SweepResult()
+    result = SweepResult(rollup=RollupAggregate())
     pending: List[SweepJob] = []
     for job in all_jobs:
         summary = cache.load(job.digest) if cache is not None else None
         if summary is not None:
-            result.runs.append(_record(job, summary))
+            _absorb(result, job, summary)
         else:
             pending.append(job)
     result.cache_misses = len(pending)
@@ -206,7 +255,7 @@ def run_sweep(
             summary = run_job(job)
             if cache is not None:
                 cache.store(job.digest, summary)
-            result.runs.append(_record(job, summary))
+            _absorb(result, job, summary)
         return result
 
     with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
@@ -219,5 +268,5 @@ def run_sweep(
                 summary = future.result()
                 if cache is not None:
                     cache.store(job.digest, summary)
-                result.runs.append(_record(job, summary))
+                _absorb(result, job, summary)
     return result

@@ -123,8 +123,9 @@ class GpsReceiver:
                 common_error_m=self._common_error_m(mid),
                 private_error_m=self._private_error_m(mid),
             )
+            file_name = reading_file_name(self.name, start)
             self.card.write(
-                reading_file_name(self.name, start),
+                file_name,
                 reading.size_bytes,
                 created=start,
                 payload=reading,
@@ -136,6 +137,13 @@ class GpsReceiver:
                 size_bytes=reading.size_bytes,
                 satellites=satellites,
                 duration_s=duration_s,
+            )
+            # Provenance birth of the observation file ("prov" source is
+            # outside every station log-volume query, so this is inert to
+            # simulated behaviour).
+            self.sim.trace.emit(
+                "prov", "created", cls="gps",
+                artifact=f"gps:{file_name}", bytes=reading.size_bytes,
             )
             return reading
         finally:
@@ -195,6 +203,8 @@ class GpsReceiver:
                     raise IOError(f"{self.name}: RS-232 transfer failed for {name}")
             yield self.sim.timeout(self.fetch_time_s(stored.size_bytes))
             self.card.delete(name)
+            self.sim.trace.emit("prov", "stored", cls="gps",
+                                artifact=f"gps:{name}")
             return stored
         finally:
             self.bus.loads.switch_off(self.name)

@@ -573,9 +573,11 @@ class LayeringRule(Rule):
 
     #: Packages with an explicit import allow-list overriding the layer
     #: numbers: ``repro.obs`` sits below everything so that the kernel can
-    #: build the hub, but only the kernel (and the CLI's exporter calls)
-    #: may *import* it — subsystems go through their ``sim.obs`` handle.
-    RESTRICTED_IMPORTERS = {"obs": frozenset({"sim", "cli"})}
+    #: build the hub, but only the kernel (and the CLI's exporter calls,
+    #: the fleet runner's rollup fold, and the analysis layer's report
+    #: rendering) may *import* it — subsystems go through their
+    #: ``sim.obs`` handle.
+    RESTRICTED_IMPORTERS = {"obs": frozenset({"sim", "cli", "fleet", "analysis"})}
 
     def _importer_package(self, ctx: FileContext) -> Optional[str]:
         """The repro sub-package ``ctx``'s file belongs to, or None."""

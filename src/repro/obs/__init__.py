@@ -8,12 +8,21 @@ optional wall-clock self-profiling (:mod:`repro.obs.profile`), and stable
 Prometheus / JSON / Chrome-trace / NDJSON exporters
 (:mod:`repro.obs.export`).
 
+Mission/fleet-scale accountability rides on top: the data-provenance
+ledger (:mod:`repro.obs.provenance`) tracks every science artifact from
+creation to the Southampton archive and closes the mission with a
+conservation check; the streaming rollup (:mod:`repro.obs.rollup`) folds
+per-run metric snapshots into one order-independent campaign aggregate;
+the alert engine (:mod:`repro.obs.alerts`) evaluates declarative SLO
+rules against the trace stream.  See ``docs/telemetry_rollup.md``.
+
 Entry points: every :class:`~repro.sim.kernel.Simulation` owns an
 :class:`Observability` as ``sim.obs``; the ``repro-sim metrics`` subcommand
 and the ``--metrics-out`` / ``--spans-out`` flags dump a mission's
 telemetry.  Conventions and determinism rules: ``docs/observability.md``.
 """
 
+from repro.obs.alerts import AlertEngine, AlertFiring
 from repro.obs.export import (
     metrics_to_json,
     metrics_to_prometheus,
@@ -30,19 +39,28 @@ from repro.obs.metrics import (
 )
 from repro.obs.observability import Observability, owner_process_name
 from repro.obs.profile import WallClockProfile
+from repro.obs.provenance import ConservationReport, ProvenanceLedger
+from repro.obs.rollup import ExactSum, RollupAggregate, merge_rollups
 from repro.obs.spans import SpanRecord, SpanRecorder
 
 __all__ = [
+    "AlertEngine",
+    "AlertFiring",
+    "ConservationReport",
     "Counter",
     "DEFAULT_BUCKETS",
+    "ExactSum",
     "Gauge",
     "Histogram",
     "Metric",
     "MetricsRegistry",
     "Observability",
+    "ProvenanceLedger",
+    "RollupAggregate",
     "SpanRecord",
     "SpanRecorder",
     "WallClockProfile",
+    "merge_rollups",
     "metrics_to_json",
     "metrics_to_prometheus",
     "owner_process_name",

@@ -46,7 +46,7 @@ def metrics_to_prometheus(registry: MetricsRegistry) -> str:
                 assert isinstance(metric, (Counter, Gauge))
                 labels = _render_labels(metric.labels)
                 lines.append(f"{name}{labels} {format_value(metric.value)}")
-    return "\n".join(lines) + "\n"
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 def _metric_to_dict(metric) -> dict:

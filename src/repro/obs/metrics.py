@@ -139,6 +139,23 @@ class Histogram(Metric):
         """Average of all observed samples (0.0 when empty)."""
         return self.sum / self.count if self.count else 0.0
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram of the *same bucket spec* into this one.
+
+        Bucket-wise counts, the ``+Inf`` bucket, the sample sum and the
+        sample count all add; a differing bucket spec raises — silently
+        re-binning samples would corrupt every downstream percentile.
+        """
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"histogram {self.name}: cannot merge buckets {other.buckets} "
+                f"into {self.buckets}")
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.inf_count += other.inf_count
+        self.sum += other.sum
+        self.count += other.count
+
 
 class MetricsRegistry:
     """Get-or-create store of metrics keyed by name + label set.
@@ -209,6 +226,76 @@ class MetricsRegistry:
                 buckets: Optional[Sequence[float]] = None, **labels: object) -> None:
         """Record ``value`` into the histogram ``name{labels}``."""
         self.histogram(name, buckets=buckets, **labels).observe(value)
+
+    # ------------------------------------------------------------------
+    # Snapshot / merge (the fleet rollup contract)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """The registry as a JSON-safe document, in canonical order.
+
+        Floats survive a JSON round-trip exactly (``repr`` round-trips),
+        so a snapshot folded from a cache hit is indistinguishable from
+        one folded off the live registry — the property the sweep
+        rollup's byte-identity guarantee rests on.
+        """
+        entries: List[Dict[str, object]] = []
+        for metric in self.metrics():
+            entry: Dict[str, object] = {
+                "name": metric.name,
+                "kind": metric.kind,
+                "labels": metric.label_dict(),
+            }
+            if isinstance(metric, Histogram):
+                entry["buckets"] = list(metric.buckets)
+                entry["counts"] = list(metric.counts)
+                entry["inf_count"] = metric.inf_count
+                entry["sum"] = metric.sum
+                entry["count"] = metric.count
+            else:
+                entry["value"] = metric.value
+            entries.append(entry)
+        return {"version": 1, "metrics": entries}
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping[str, object]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`snapshot` output."""
+        registry = cls()
+        for entry in snapshot["metrics"]:  # type: ignore[index]
+            name = entry["name"]
+            labels = entry["labels"]
+            kind = entry["kind"]
+            if kind == "counter":
+                registry.counter(name, **labels).inc(float(entry["value"]))
+            elif kind == "gauge":
+                registry.gauge(name, **labels).set(float(entry["value"]))
+            elif kind == "histogram":
+                histogram = registry.histogram(name, buckets=entry["buckets"],
+                                               **labels)
+                histogram.counts = [int(c) for c in entry["counts"]]
+                histogram.inf_count = int(entry["inf_count"])
+                histogram.sum = float(entry["sum"])
+                histogram.count = int(entry["count"])
+            else:
+                raise ValueError(f"unknown metric kind {kind!r} in snapshot")
+        return registry
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one.
+
+        Counters add, gauges take the incoming value (callers wanting a
+        deterministic winner must order their merges — see
+        :mod:`repro.obs.rollup` for the order-independent fleet fold),
+        histograms merge bucket-wise.  Kind conflicts raise.
+        """
+        for metric in other.metrics():
+            labels = metric.label_dict()
+            if isinstance(metric, Counter):
+                self.counter(metric.name, **labels).inc(metric.value)
+            elif isinstance(metric, Gauge):
+                self.gauge(metric.name, **labels).set(metric.value)
+            elif isinstance(metric, Histogram):
+                self.histogram(metric.name, buckets=metric.buckets,
+                               **labels).merge(metric)
 
     # ------------------------------------------------------------------
     # Reading

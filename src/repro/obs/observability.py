@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import WallClockProfile
+from repro.obs.provenance import ConservationReport, ProvenanceLedger
 from repro.obs.spans import SpanRecorder, _OpenSpan
 
 if TYPE_CHECKING:  # pragma: no cover - break the sim <-> obs import cycle
@@ -59,10 +60,16 @@ class Observability:
         kernel_spans: bool = False,
         self_profile: bool = False,
         trace_bridge: bool = True,
+        provenance: bool = True,
     ) -> None:
         self.clock = clock
         self.metrics = MetricsRegistry()
         self.spans = SpanRecorder(clock)
+        #: Data-provenance ledger (artifact lifecycle accounting); shares
+        #: the metrics registry so its counters ride every export.
+        self.provenance: Optional[ProvenanceLedger] = (
+            ProvenanceLedger(self.metrics) if provenance else None
+        )
         self.kernel_spans = kernel_spans
         self.profile: Optional[WallClockProfile] = (
             WallClockProfile() if self_profile else None
@@ -125,6 +132,8 @@ class Observability:
         """
         if self._trace_bridge:
             trace.subscribe(self._on_trace_record)
+        if self.provenance is not None:
+            self.provenance.attach(trace)
 
     def _on_trace_record(self, record) -> None:
         # Runs for *every* trace record — cache the counter handle per
@@ -178,3 +187,15 @@ class Observability:
         self.metrics.set_gauge("kernel_events_scheduled", float(sim.events_scheduled))
         self.metrics.set_gauge("kernel_queue_depth", float(sim.queue_depth))
         self.metrics.set_gauge("kernel_sim_time_seconds", sim.now)
+
+    def finalise(self, sim) -> "Optional[ConservationReport]":
+        """Mission-close collection: kernel gauges + provenance close-out.
+
+        Idempotent (the ledger caches its report), so CLI exports and the
+        mission report can both finalise without double-counting.  Returns
+        the conservation report, or None when provenance is disabled.
+        """
+        self.collect_kernel(sim)
+        if self.provenance is None:
+            return None
+        return self.provenance.finish(sim.now)

@@ -141,6 +141,14 @@ class Probe:
             self._active_task = TaskSnapshot(task_id=self._next_task_id, readings=readings)
             self._next_task_id += 1
             self._buffer = []
+            # Readings become trackable artifacts at the instant the task
+            # freezes their sequence numbers (the "prov" source is never
+            # matched by station log-volume queries, so this cannot perturb
+            # simulated behaviour).
+            self.sim.trace.emit(
+                "prov", "created", cls="reading", probe=self.probe_id,
+                task=self._active_task.task_id, first_seq=0,
+                count=len(readings))
         return self._active_task
 
     def mark_complete(self, task_id: int) -> None:

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.comms.probe_radio import ProbeRadioLink
 from repro.protocol.framing import (
@@ -52,6 +52,7 @@ class FetchResult:
     """Outcome of one fetch session against one probe."""
 
     task_id: Optional[int] = None
+    probe_id: Optional[int] = None
     total: int = 0
     received_new: int = 0
     missing_after: int = 0
@@ -60,6 +61,10 @@ class FetchResult:
     duration_s: float = 0.0
     airtime_bytes: int = 0
     interrupted: bool = False
+    #: Sequence numbers newly delivered this session (provenance feed).
+    new_seqs: List[int] = field(default_factory=list)
+    #: How many previously-missing readings this session re-requested.
+    rerequested: int = 0
 
     @property
     def missing_before(self) -> int:
@@ -151,10 +156,13 @@ class BulkFetcher:
             "protocol.bulk",
             "fetch_done",
             task=result.task_id,
+            probe=result.probe_id,
             strategy=result.strategy.value,
             received_new=result.received_new,
             missing_after=result.missing_after,
             complete=result.complete,
+            new_seqs=list(result.new_seqs),
+            rerequested=result.rerequested,
         )
         return result
 
@@ -172,6 +180,7 @@ class BulkFetcher:
             return
         key = (task.readings[0].probe_id if task.readings else -1, task.task_id)
         result.task_id = task.task_id
+        result.probe_id = key[0]
         result.total = task.total
         received = self.received.setdefault(key, set())
         held = self.store.setdefault(key, {})
@@ -208,6 +217,7 @@ class BulkFetcher:
                 received.add(reading.seq)
                 held[reading.seq] = reading
                 result.received_new += 1
+                result.new_seqs.append(reading.seq)
 
     def _selective_phase(self, task, link, received, held, result, deadline):
         """Refetch of recorded-missing readings, in request batches.
@@ -218,6 +228,7 @@ class BulkFetcher:
         individually — leftovers go back on the missing list).
         """
         missing = [seq for seq in range(task.total) if seq not in received]
+        result.rerequested = len(missing)
         batch_size = self.request_batch_size
         pending = list(missing)
         while pending:
@@ -247,6 +258,7 @@ class BulkFetcher:
                         received.add(seq)
                         held[seq] = reading
                         result.received_new += 1
+                        result.new_seqs.append(seq)
                     else:
                         still_missing.append(seq)
                 remaining = still_missing

@@ -9,8 +9,8 @@ repeatedly — the reference point for the E14 protocol ablation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 from repro.comms.probe_radio import ProbeRadioLink
 from repro.protocol.framing import ACK_BYTES, DATA_HEADER_BYTES, TaskSnapshot
@@ -23,6 +23,7 @@ class StopWaitResult:
     """Outcome of one stop-and-wait session."""
 
     task_id: Optional[int] = None
+    probe_id: Optional[int] = None
     total: int = 0
     delivered: int = 0
     failed: int = 0
@@ -34,6 +35,8 @@ class StopWaitResult:
     duration_s: float = 0.0
     airtime_bytes: int = 0
     interrupted: bool = False
+    #: Sequence numbers delivered this session (provenance feed).
+    delivered_seqs: List[int] = field(default_factory=list)
 
 
 class StopWaitFetcher:
@@ -63,6 +66,8 @@ class StopWaitFetcher:
                 result.complete = True
                 return result
             result.task_id = task.task_id
+            result.probe_id = (
+                task.readings[0].probe_id if task.readings else None)
             result.total = task.total
             for reading in task.readings:
                 if deadline is not None and self.sim.now >= deadline:
@@ -88,6 +93,7 @@ class StopWaitFetcher:
                         break
                 if delivered:
                     result.delivered += 1
+                    result.delivered_seqs.append(reading.seq)
                 elif out_of_budget:
                     result.truncated += 1
                 else:
@@ -98,4 +104,15 @@ class StopWaitFetcher:
         except Interrupt:
             result.interrupted = True
         result.duration_s = self.sim.now - start
+        self.sim.trace.emit(
+            "protocol.stopwait",
+            "fetch_done",
+            task=result.task_id,
+            probe=result.probe_id,
+            delivered=result.delivered,
+            failed=result.failed,
+            truncated=result.truncated,
+            complete=result.complete,
+            delivered_seqs=list(result.delivered_seqs),
+        )
         return result

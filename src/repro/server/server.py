@@ -71,8 +71,15 @@ class SouthamptonServer:
     # ------------------------------------------------------------------
     # Data ingest
     # ------------------------------------------------------------------
-    def upload_data(self, station: str, nbytes: int, kind: str, payload: Any = None) -> None:
-        """Receive one upload (GPS files, probe data, logs...)."""
+    def upload_data(self, station: str, nbytes: int, kind: str, payload: Any = None,
+                    name: Optional[str] = None) -> None:
+        """Receive one upload (GPS files, probe data, logs...).
+
+        ``name`` (the station-side file name) marks a *tracked* artifact
+        reaching the archive; nameless uploads (priority summaries,
+        ad-hoc blobs) carry derived data and stay outside the provenance
+        ledger.
+        """
         self.uploads.append(
             DataUpload(station=station, time=self.sim.now, nbytes=nbytes, kind=kind,
                        payload=payload)
@@ -80,6 +87,9 @@ class SouthamptonServer:
         metrics = self.sim.obs.metrics
         metrics.inc("server_uploads_total", station=station, kind=kind)
         metrics.inc("server_upload_bytes_total", nbytes, station=station, kind=kind)
+        if name is not None:
+            self.sim.trace.emit("prov", "archived", station=station,
+                                file=name, file_kind=kind, bytes=nbytes)
 
     def received_bytes(self, station: Optional[str] = None, kind: Optional[str] = None) -> int:
         """Total payload received, optionally filtered."""

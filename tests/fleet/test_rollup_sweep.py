@@ -1,0 +1,112 @@
+"""Sweep-side rollup: byte-identity across jobs/cache, aggregate-only memory.
+
+The runner folds each job's metric snapshot into ``result.rollup`` and
+drops the per-run copy; these tests pin the byte-identity guarantees the
+ISSUE's campaign workflow depends on.
+"""
+
+import json
+
+from repro.fleet import SweepCache, SweepSpec, expand_grid, merge_runs, run_sweep
+
+
+def small_spec(days=1.0, seeds=(0, 1), **extra):
+    return SweepSpec(grid=expand_grid({"solar_w": [5.0, 10.0]}),
+                     seeds=list(seeds), days=days, **extra)
+
+
+class TestRollupByteIdentity:
+    def test_jobs_1_vs_n_identical_bytes(self):
+        serial = run_sweep(small_spec(), jobs=1, cache=None)
+        parallel = run_sweep(small_spec(), jobs=2, cache=None)
+        assert serial.rollup.to_json() == parallel.rollup.to_json()
+        assert serial.rollup.runs == 4
+
+    def test_cold_vs_warm_cache_identical_bytes(self, tmp_path):
+        cold = run_sweep(small_spec(), jobs=1, cache=SweepCache(str(tmp_path)))
+        warm = run_sweep(small_spec(), jobs=2, cache=SweepCache(str(tmp_path)))
+        assert (cold.cache_misses, warm.cache_hits) == (4, 4)
+        assert cold.rollup.to_json() == warm.rollup.to_json()
+
+    def test_mixed_cache_state_identical_bytes(self, tmp_path):
+        # Warm half the grid, then sweep the whole grid: part hits, part
+        # computes — the fold must not care which path a snapshot took.
+        half = SweepSpec(grid=[{"solar_w": 5.0}], seeds=[0, 1], days=1.0)
+        run_sweep(half, jobs=1, cache=SweepCache(str(tmp_path)))
+        mixed = run_sweep(small_spec(), jobs=2, cache=SweepCache(str(tmp_path)))
+        pure = run_sweep(small_spec(), jobs=1, cache=None)
+        assert mixed.cache_hits == 2 and mixed.cache_misses == 2
+        assert mixed.rollup.to_json() == pure.rollup.to_json()
+
+    def test_rollup_carries_mission_and_provenance_metrics(self):
+        result = run_sweep(small_spec(seeds=(0,)), jobs=1, cache=None)
+        doc = result.rollup.to_doc()
+        names = {entry["name"] for entry in doc["metrics"]}
+        assert "provenance_conserved" in names
+        assert "provenance_edges_total" in names
+        conserved = [e for e in doc["metrics"]
+                     if e["name"] == "provenance_conserved"]
+        assert all(e["value"] == 1.0 for e in conserved)
+
+
+class TestAggregateOnlyMemory:
+    def test_run_records_do_not_retain_snapshots(self):
+        result = run_sweep(small_spec(seeds=(0,)), jobs=1, cache=None)
+        for run in result.runs:
+            assert "metrics" not in run["result"]
+
+    def test_cache_entries_do_retain_snapshots(self, tmp_path):
+        """Cached summaries keep the snapshot so warm runs can still fold."""
+        spec = small_spec(seeds=(0,))
+        run_sweep(spec, jobs=1, cache=SweepCache(str(tmp_path)))
+        cache = SweepCache(str(tmp_path))
+        for job in spec.jobs():
+            cached = cache.load(job.digest)
+            assert cached is not None and "metrics" in cached
+
+
+class TestMergeRunsDuplicates:
+    def test_duplicate_key_last_wins(self):
+        runs = [
+            {"config_digest": "aa", "seed": 1, "r": "stale"},
+            {"config_digest": "bb", "seed": 1, "r": "keep"},
+            {"config_digest": "aa", "seed": 1, "r": "fresh"},
+        ]
+        merged = merge_runs(runs)
+        assert [(r["config_digest"], r["seed"], r["r"]) for r in merged] == [
+            ("aa", 1, "fresh"), ("bb", 1, "keep"),
+        ]
+
+    def test_duplicates_with_fault_plans_are_distinct_keys(self):
+        plan = json.dumps({"name": "p", "faults": []}, sort_keys=True)
+        runs = [
+            {"config_digest": "aa", "seed": 1, "fault_plan": None, "r": 1},
+            {"config_digest": "aa", "seed": 1,
+             "fault_plan": json.loads(plan), "r": 2},
+        ]
+        assert len(merge_runs(runs)) == 2
+
+
+class TestAlertRulesInSweep:
+    RULES = {"rules": [{
+        "name": "never", "type": "budget", "metric": "no_such_metric",
+        "op": ">", "value": 1e9,
+    }]}
+
+    def test_alert_rules_change_job_digest(self):
+        plain = small_spec(seeds=(0,)).jobs()
+        ruled = small_spec(seeds=(0,), alert_rules=self.RULES).jobs()
+        assert {j.digest for j in plain}.isdisjoint({j.digest for j in ruled})
+
+    def test_runs_carry_alert_summary(self):
+        result = run_sweep(small_spec(seeds=(0,), alert_rules=self.RULES),
+                           jobs=1, cache=None)
+        for run in result.runs:
+            alerts = run["result"]["alerts"]
+            assert alerts == {"rules": 1, "fired": 0, "firings": []}
+
+    def test_alerted_sweep_parallel_matches_serial(self):
+        spec = small_spec(seeds=(0,), alert_rules=self.RULES)
+        serial = run_sweep(spec, jobs=1, cache=None)
+        parallel = run_sweep(spec, jobs=2, cache=None)
+        assert serial.rollup.to_json() == parallel.rollup.to_json()

@@ -1,0 +1,191 @@
+"""Alert/SLO engine: threshold episodes, absence gaps, budgets, validation."""
+
+import pytest
+
+from repro.obs.alerts import AlertEngine
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.simtime import SimClock
+from repro.sim.trace import Trace
+
+
+def make_rig(rules, metrics=None):
+    clock = SimClock()
+    trace = Trace(clock)
+    engine = AlertEngine({"rules": rules}, metrics=metrics)
+    engine.attach(trace)
+    return clock, trace, engine
+
+
+VOLT_RULE = {
+    "name": "low-voltage", "type": "threshold",
+    "signal": {"source": "base", "kind": "local_state", "field": "voltage"},
+    "op": "<", "value": 11.5,
+}
+
+
+class TestThreshold:
+    def test_fires_once_per_episode_without_for_s(self):
+        clock, trace, engine = make_rig([VOLT_RULE])
+        trace.emit("base", "local_state", voltage=11.0)
+        clock.advance_to(60.0)
+        trace.emit("base", "local_state", voltage=11.2)   # same episode
+        clock.advance_to(120.0)
+        trace.emit("base", "local_state", voltage=12.0)   # episode closes
+        clock.advance_to(180.0)
+        trace.emit("base", "local_state", voltage=10.9)   # new episode
+        engine.finish(clock.now)
+        assert [f.time for f in engine.firings] == [0.0, 180.0]
+
+    def test_for_s_needs_condition_to_hold(self):
+        rule = dict(VOLT_RULE, for_s=100.0)
+        clock, trace, engine = make_rig([rule])
+        trace.emit("base", "local_state", voltage=11.0)
+        clock.advance_to(50.0)
+        trace.emit("base", "local_state", voltage=12.0)   # recovered early
+        clock.advance_to(60.0)
+        trace.emit("base", "local_state", voltage=11.0)   # episode restarts
+        clock.advance_to(90.0)
+        trace.emit("base", "local_state", voltage=11.1)   # held 30s: no fire
+        engine_a_firings = list(engine.firings)
+        clock.advance_to(170.0)
+        trace.emit("base", "local_state", voltage=11.2)   # held 110s: fires
+        engine.finish(clock.now)
+        assert engine_a_firings == []
+        assert [f.time for f in engine.firings] == [170.0]
+
+    def test_open_episode_settled_at_finish(self):
+        rule = dict(VOLT_RULE, for_s=100.0)
+        clock, trace, engine = make_rig([rule])
+        trace.emit("base", "local_state", voltage=11.0)
+        clock.advance_to(500.0)
+        engine.finish(clock.now)
+        assert [f.time for f in engine.firings] == [500.0]
+
+    def test_dotted_child_source_matches(self):
+        rule = {"name": "hot", "type": "threshold",
+                "signal": {"source": "base", "field": "temp_c"},
+                "op": ">=", "value": 40.0}
+        clock, trace, engine = make_rig([rule])
+        trace.emit("base.gumstix", "thermal", temp_c=41.0)
+        trace.emit("reference.gumstix", "thermal", temp_c=99.0)  # other station
+        engine.finish(clock.now)
+        assert len(engine.firings) == 1
+
+    def test_firing_emits_trace_record_without_self_trigger(self):
+        clock, trace, engine = make_rig([VOLT_RULE])
+        trace.emit("base", "local_state", voltage=11.0)
+        fired = trace.select(kind="alert_fired")
+        assert len(fired) == 1 and fired[0].source == "alerts"
+        assert len(engine.firings) == 1
+
+    def test_fired_counter_increments(self):
+        metrics = MetricsRegistry()
+        clock, trace, engine = make_rig([VOLT_RULE], metrics=metrics)
+        trace.emit("base", "local_state", voltage=11.0)
+        assert metrics.counter("alerts_fired_total",
+                               rule="low-voltage").value == 1
+
+
+class TestAbsence:
+    RULE = {"name": "silent", "type": "absence",
+            "signal": {"source": "server", "kind": "power_state_upload"},
+            "window_s": 100.0}
+
+    def test_fires_once_per_gap_including_tail(self):
+        clock, trace, engine = make_rig([self.RULE])
+        clock.advance_to(150.0)
+        trace.emit("other", "tick")          # initial gap noticed
+        clock.advance_to(160.0)
+        trace.emit("other", "tick")          # same gap: no second firing
+        trace.emit("server", "power_state_upload", station="base", state=3)
+        clock.advance_to(400.0)
+        engine.finish(clock.now)             # tail gap 240s
+        assert [f.time for f in engine.firings] == [150.0, 400.0]
+
+    def test_regular_signal_never_fires(self):
+        clock, trace, engine = make_rig([self.RULE])
+        for t in range(0, 500, 50):
+            clock.advance_to(float(t))
+            trace.emit("server", "power_state_upload", station="base", state=3)
+        engine.finish(clock.now)
+        assert engine.firings == []
+
+
+class TestBudget:
+    def test_budget_sums_label_subset_at_finish(self):
+        metrics = MetricsRegistry()
+        metrics.inc("fault_recoveries_total", kind="gprs", result="violated")
+        metrics.inc("fault_recoveries_total", kind="rtc", result="violated")
+        metrics.inc("fault_recoveries_total", kind="gprs", result="recovered")
+        rule = {"name": "violations", "type": "budget",
+                "metric": "fault_recoveries_total",
+                "labels": {"result": "violated"}, "op": ">", "value": 0}
+        clock, trace, engine = make_rig([rule], metrics=metrics)
+        assert engine.firings == []
+        engine.finish(100.0)
+        assert len(engine.firings) == 1
+        assert "2" in engine.firings[0].message.replace("2.0", "2")
+
+    def test_budget_within_limit_stays_quiet(self):
+        metrics = MetricsRegistry()
+        rule = {"name": "violations", "type": "budget",
+                "metric": "fault_recoveries_total",
+                "labels": {"result": "violated"}, "op": ">", "value": 0}
+        _clock, _trace, engine = make_rig([rule], metrics=metrics)
+        engine.finish(100.0)
+        assert engine.firings == []
+
+
+class TestValidation:
+    def test_summary_and_format(self):
+        clock, trace, engine = make_rig([VOLT_RULE])
+        assert "OK" in engine.format()
+        trace.emit("base", "local_state", voltage=11.0)
+        summary = engine.summary()
+        assert summary["rules"] == 1 and summary["fired"] == 1
+        assert summary["firings"][0]["rule"] == "low-voltage"
+        assert "[low-voltage]" in engine.format()
+
+    def test_finish_is_idempotent(self):
+        clock, trace, engine = make_rig([dict(VOLT_RULE, for_s=10.0)])
+        trace.emit("base", "local_state", voltage=11.0)
+        clock.advance_to(100.0)
+        assert engine.finish(clock.now) is engine.finish(clock.now)
+        assert len(engine.firings) == 1
+
+    @pytest.mark.parametrize("rules, match", [
+        ([{"type": "threshold"}], "needs a 'name'"),
+        ([{"name": "x", "type": "nope"}], "unknown type"),
+        ([{"name": "x", "type": "threshold", "signal": {},
+           "op": "<", "value": 1}], "needs a 'source'"),
+        ([{"name": "x", "type": "threshold",
+           "signal": {"source": "base", "field": "v"},
+           "op": "~", "value": 1}], "unknown op"),
+        ([{"name": "x", "type": "threshold",
+           "signal": {"source": "base"}, "op": "<", "value": 1}],
+         "needs a 'field'"),
+        ([{"name": "x", "type": "absence",
+           "signal": {"source": "base"}, "window_s": 0}], "window_s"),
+        ([{"name": "x", "type": "budget", "op": ">", "value": 0}],
+         "needs a 'metric'"),
+        ([VOLT_RULE, VOLT_RULE], "duplicate alert rule"),
+    ])
+    def test_malformed_rules_raise(self, rules, match):
+        with pytest.raises(ValueError, match=match):
+            AlertEngine({"rules": rules})
+
+    def test_document_shape_validated(self):
+        with pytest.raises(ValueError, match="'rules' list"):
+            AlertEngine({"not_rules": []})
+        with pytest.raises(ValueError, match="list or"):
+            AlertEngine("nope")
+
+    def test_from_file_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            AlertEngine.from_file(str(path))
+
+    def test_shipped_example_rules_parse(self):
+        engine = AlertEngine.from_file("examples/alerts/mission_slo.json")
+        assert len(engine.rules) == 3

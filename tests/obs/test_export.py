@@ -60,6 +60,27 @@ class TestPrometheus:
         text = metrics_to_prometheus(reg)
         assert r'detail="say \"hi\"\nback\\slash"' in text
 
+    def test_empty_registry_renders_zero_bytes(self):
+        # Not a lone "\n": scrapers treat a blank line as a malformed
+        # family, and the golden diff should be empty for an empty registry.
+        assert metrics_to_prometheus(MetricsRegistry()) == ""
+
+    def test_golden_exposition_bytes(self):
+        """The full exposition text, byte for byte (the S1 audit pin)."""
+        assert metrics_to_prometheus(small_registry()) == (
+            "# TYPE frames_total counter\n"
+            'frames_total{result="crc_fail"} 1\n'
+            'frames_total{result="ok"} 2\n'
+            "# TYPE size_bytes histogram\n"
+            'size_bytes_bucket{le="10"} 0\n'
+            'size_bytes_bucket{le="100"} 1\n'
+            'size_bytes_bucket{le="+Inf"} 1\n'
+            "size_bytes_sum 42\n"
+            "size_bytes_count 1\n"
+            "# TYPE soc gauge\n"
+            'soc{station="base"} 0.75\n'
+        )
+
 
 class TestJson:
     def test_round_trips(self):
@@ -98,6 +119,53 @@ class TestNdjson:
 
     def test_empty(self):
         assert spans_to_ndjson(SpanRecorder()) == ""
+
+    def test_accepts_plain_record_iterables(self):
+        records = list(small_spans().records)
+        assert spans_to_ndjson(records) == spans_to_ndjson(small_spans())
+        assert spans_to_ndjson(iter(records)) == spans_to_ndjson(records)
+
+    def test_non_ascii_attrs_round_trip(self):
+        clock = SimClock()
+        rec = SpanRecorder(clock)
+        rec.instant("note", track="base", text="glaciær ↯ \"quoted\"")
+        line = spans_to_ndjson(rec).splitlines()[0]
+        assert json.loads(line)["attrs"]["text"] == 'glaciær ↯ "quoted"'
+
+
+class TestExporterEdgeCases:
+    def test_chrome_trace_empty_recorder_is_valid_json(self):
+        doc = json.loads(spans_to_chrome_trace(SpanRecorder()))
+        assert doc == {"displayTimeUnit": "ms", "traceEvents": []}
+
+    def test_chrome_trace_zero_duration_instant(self):
+        clock = SimClock()
+        rec = SpanRecorder(clock)
+        clock.advance_to(12.5)
+        rec.instant("mark", track="kernel")
+        doc = json.loads(spans_to_chrome_trace(rec))
+        event = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+        assert event["ts"] == 12.5e6 and event["dur"] == 0
+
+    def test_chrome_trace_sub_microsecond_times_stay_finite_precision(self):
+        clock = SimClock()
+        rec = SpanRecorder(clock)
+        clock.advance_to(1e-7)
+        rec.instant("tiny", track="t")
+        doc = json.loads(spans_to_chrome_trace(rec))
+        event = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+        assert event["ts"] == 0.1  # rounded to 3 decimals of a microsecond
+
+    def test_chrome_trace_track_ids_follow_sorted_names(self):
+        clock = SimClock()
+        rec = SpanRecorder(clock)
+        rec.instant("b", track="zeta")
+        rec.instant("a", track="alpha")
+        doc = json.loads(spans_to_chrome_trace(rec))
+        metas = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert [(m["tid"], m["args"]["name"]) for m in metas] == [
+            (1, "alpha"), (2, "zeta"),
+        ]
 
 
 def run_tiny_mission(seed=7, days=1.0):

@@ -1,0 +1,153 @@
+"""Rollup fold: order independence, gauge keying, shard merging.
+
+The contract under test is the sweep's byte-identity guarantee: folding
+the same set of snapshots in any order — or through any shard partition
+— must render the exact same JSON bytes.
+"""
+
+import itertools
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.rollup import ExactSum, RollupAggregate, merge_rollups
+
+
+def snapshot(seed, value):
+    reg = MetricsRegistry()
+    reg.inc("uploads_total", value, station="base")
+    reg.set_gauge("battery_soc", 0.5 + seed / 10.0, station="base")
+    reg.observe("latency_s", value, buckets=(1.0, 10.0))
+    reg.observe("latency_s", value * 20.0, buckets=(1.0, 10.0))
+    return reg.snapshot()
+
+
+def key_for(seed):
+    return ("cfg", "", seed)
+
+
+class TestExactSum:
+    def test_order_independent_where_naive_sum_is_not(self):
+        values = [1e16, 1.0, -1e16, 2.0**-30] * 5
+        exact, naive = set(), set()
+        for rotation in range(len(values)):
+            rotated = values[rotation:] + values[:rotation]
+            acc = ExactSum()
+            for v in rotated:
+                acc.add(v)
+            exact.add(acc.value())
+            naive.add(sum(rotated))
+        assert len(exact) == 1
+        assert len(naive) > 1  # the naive float sum really is order-sensitive
+
+
+class TestFold:
+    def test_fold_order_does_not_change_bytes(self):
+        snaps = [(key_for(s), snapshot(s, 0.1 * (s + 1))) for s in range(5)]
+        rendered = set()
+        for perm in itertools.permutations(snaps):
+            agg = RollupAggregate()
+            for key, snap in perm:
+                assert agg.fold(key, snap)
+            rendered.add(agg.to_json())
+        assert len(rendered) == 1
+
+    def test_duplicate_fold_key_is_skipped(self):
+        agg = RollupAggregate()
+        assert agg.fold(key_for(0), snapshot(0, 1.0))
+        assert not agg.fold(key_for(0), snapshot(0, 1.0))
+        assert agg.runs == 1
+        doc = agg.to_doc()
+        counter = next(e for e in doc["metrics"] if e["name"] == "uploads_total")
+        assert counter["value"] == 1.0
+
+    def test_gauge_last_by_key_not_last_to_arrive(self):
+        for order in ([0, 2, 1], [2, 0, 1], [1, 2, 0]):
+            agg = RollupAggregate()
+            for seed in order:
+                agg.fold(key_for(seed), snapshot(seed, 1.0))
+            doc = agg.to_doc()
+            gauge = next(e for e in doc["metrics"] if e["name"] == "battery_soc")
+            assert gauge["value"] == pytest.approx(0.7)  # seed 2 wins
+            assert gauge["key"] == ["cfg", "", 2]
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("uploads_total", 3.0)
+        agg = RollupAggregate()
+        agg.fold(key_for(0), snapshot(0, 1.0))
+        with pytest.raises(ValueError, match="counter in one run"):
+            agg.fold(key_for(1), reg.snapshot())
+
+    def test_bucket_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.observe("latency_s", 1.0, buckets=(5.0, 50.0))
+        agg = RollupAggregate()
+        agg.fold(key_for(0), snapshot(0, 1.0))
+        with pytest.raises(ValueError, match="bucket specs disagree"):
+            agg.fold(key_for(1), reg.snapshot())
+
+    def test_histograms_merge_bucketwise(self):
+        agg = RollupAggregate()
+        agg.fold(key_for(0), snapshot(0, 0.5))   # obs: 0.5, 10.0
+        agg.fold(key_for(1), snapshot(1, 5.0))   # obs: 5.0, 100.0
+        doc = agg.to_doc()
+        hist = next(e for e in doc["metrics"] if e["name"] == "latency_s")
+        assert hist["buckets"] == [1.0, 10.0]
+        assert hist["counts"] == [1, 2]  # <=1: {0.5}; (1,10]: {5.0, 10.0}
+        assert hist["inf_count"] == 1    # 100.0
+        assert hist["count"] == 4
+        assert hist["sum"] == pytest.approx(115.5)
+
+
+class TestSnapshotRoundTrip:
+    def test_from_snapshot_reproduces_registry(self):
+        reg = MetricsRegistry()
+        reg.inc("a_total", 3, kind="x")
+        reg.set_gauge("g", 1.25)
+        reg.observe("h", 7.0, buckets=(1.0, 10.0))
+        clone = MetricsRegistry.from_snapshot(reg.snapshot())
+        assert clone.snapshot() == reg.snapshot()
+
+    def test_snapshot_survives_json(self):
+        reg = MetricsRegistry()
+        reg.inc("a_total", 0.1)
+        reg.inc("a_total", 0.2)
+        doc = json.loads(json.dumps(reg.snapshot()))
+        assert MetricsRegistry.from_snapshot(doc).snapshot() == reg.snapshot()
+
+
+class TestMergeShards:
+    def shards(self):
+        left = RollupAggregate()
+        left.fold(key_for(0), snapshot(0, 1.0))
+        left.fold(key_for(1), snapshot(1, 2.0))
+        right = RollupAggregate()
+        right.fold(key_for(2), snapshot(2, 4.0))
+        return left, right
+
+    def test_merge_equals_single_aggregate(self):
+        left, right = self.shards()
+        combined = RollupAggregate()
+        for seed, value in ((0, 1.0), (1, 2.0), (2, 4.0)):
+            combined.fold(key_for(seed), snapshot(seed, value))
+        merged = merge_rollups([json.loads(left.to_json()),
+                                json.loads(right.to_json())])
+        assert (json.dumps(merged, indent=2, sort_keys=True) + "\n"
+                == combined.to_json())
+
+    def test_merge_order_does_not_matter(self):
+        left, right = self.shards()
+        docs = [json.loads(left.to_json()), json.loads(right.to_json())]
+        assert merge_rollups(docs) == merge_rollups(list(reversed(docs)))
+
+    def test_overlapping_shards_refuse_to_double_count(self):
+        left, _right = self.shards()
+        doc = json.loads(left.to_json())
+        with pytest.raises(ValueError, match="overlap"):
+            merge_rollups([doc, doc])
+
+    def test_bad_version_raises(self):
+        with pytest.raises(ValueError, match="version"):
+            merge_rollups([{"version": 2, "keys": [], "metrics": []}])

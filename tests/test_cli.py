@@ -177,3 +177,167 @@ class TestFaultCli:
         with_plan = [r for r in payload["runs"] if "fault_plan" in r]
         assert len(with_plan) == 1
         assert with_plan[0]["result"]["faults"]["injected"] == 1
+
+
+class TestCliErrors:
+    """S2: bad formats and unwritable paths exit non-zero with a clear
+    message, never a traceback."""
+
+    def test_unknown_metrics_format_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["metrics", "--days", "1", "--format", "xml"])
+        assert excinfo.value.code == 2
+        assert "invalid choice: 'xml'" in capsys.readouterr().err
+
+    def test_unknown_export_format_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["export", "--days", "1", "--format", "yaml"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_unwritable_metrics_out_exits_2(self, tmp_path, capsys):
+        target = tmp_path / "no" / "such" / "dir" / "metrics.prom"
+        code = main(["simulate", "--days", "1", "--seed", "0",
+                     "--metrics-out", str(target)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "cannot write" in captured.err and str(target) in captured.err
+
+    def test_unwritable_spans_out_exits_2(self, tmp_path, capsys):
+        target = tmp_path / "missing" / "spans.json"
+        code = main(["simulate", "--days", "1", "--seed", "0",
+                     "--spans-out", str(target)])
+        assert code == 2
+        assert "cannot write" in capsys.readouterr().err
+
+    def test_unwritable_sweep_output_exits_2(self, tmp_path, capsys):
+        target = tmp_path / "missing" / "sweep.json"
+        code = main(["sweep", "--days", "1", "--seeds", "0", "--no-cache",
+                     "--output", str(target)])
+        assert code == 2
+        assert "cannot write" in capsys.readouterr().err
+
+    def test_missing_alert_rules_file_is_clean_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", "--days", "1",
+                  "--alerts", "/no/such/rules.json"])
+        assert "cannot load alert rules" in str(excinfo.value)
+
+    def test_malformed_alert_rules_is_clean_error(self, tmp_path, capsys):
+        rules = tmp_path / "rules.json"
+        rules.write_text('{"rules": [{"name": "x", "type": "bogus"}]}')
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", "--days", "1", "--alerts", str(rules)])
+        assert "unknown type" in str(excinfo.value)
+
+
+class TestMetricsFormat:
+    def test_metrics_json_format(self, capsys):
+        import json
+
+        assert main(["metrics", "--days", "1", "--seed", "0",
+                     "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == 1
+        assert any(m["name"] == "battery_soc" for m in doc["metrics"])
+
+
+class TestProvenanceCli:
+    def test_inject_prints_conservation_line(self, capsys):
+        assert main(["inject", "--days", "2", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "conservation: OK" in out
+        assert "created=" in out and "archived=" in out
+
+    def test_report_has_provenance_section(self, capsys):
+        assert main(["report", "--days", "2", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "Data provenance" in out
+        assert "conservation: OK" in out
+
+    def test_metrics_dump_carries_provenance_families(self, capsys):
+        assert main(["metrics", "--days", "2", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "provenance_edges_total" in out
+        assert "provenance_conserved 1" in out
+
+
+class TestAlertsCli:
+    @staticmethod
+    def write_rules(tmp_path, value=1e9):
+        import json
+
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps({"rules": [
+            {"name": "soc-floor", "type": "threshold",
+             "signal": {"source": "base", "kind": "local_state",
+                        "field": "voltage"},
+             "op": "<", "value": value},
+        ]}))
+        return str(path)
+
+    def test_quiet_rules_print_ok(self, tmp_path, capsys):
+        rules = self.write_rules(tmp_path, value=0.0)  # never fires
+        assert main(["simulate", "--days", "1", "--seed", "0",
+                     "--alerts", rules]) == 0
+        out = capsys.readouterr().out
+        assert "alerts: OK (1 rules, none fired)" in out
+
+    def test_firing_rules_are_listed(self, tmp_path, capsys):
+        rules = self.write_rules(tmp_path, value=1e9)  # always fires
+        assert main(["simulate", "--days", "1", "--seed", "0",
+                     "--alerts", rules]) == 0
+        out = capsys.readouterr().out
+        assert "[soc-floor]" in out
+
+    def test_report_gains_alerts_section(self, tmp_path, capsys):
+        rules = self.write_rules(tmp_path, value=0.0)
+        assert main(["report", "--days", "1", "--seed", "0",
+                     "--alerts", rules]) == 0
+        out = capsys.readouterr().out
+        assert "Alerts\n" in out
+
+    def test_shipped_slo_rules_run_clean_mission(self, capsys):
+        assert main(["simulate", "--days", "1", "--seed", "0",
+                     "--alerts", "examples/alerts/mission_slo.json"]) == 0
+        out = capsys.readouterr().out
+        assert "alerts:" in out
+
+
+class TestRollupCli:
+    def sweep(self, tmp_path, capsys, name, seeds):
+        out = tmp_path / f"{name}.json"
+        rollup = tmp_path / f"{name}_rollup.json"
+        assert main(["sweep", "--days", "1", "--seeds", seeds, "--no-cache",
+                     "--output", str(out), "--rollup-out", str(rollup)]) == 0
+        capsys.readouterr()
+        return rollup
+
+    def test_sweep_rollup_out_and_merge_identity(self, tmp_path, capsys):
+        import json
+
+        shard_a = self.sweep(tmp_path, capsys, "a", "0")
+        shard_b = self.sweep(tmp_path, capsys, "b", "1")
+        combined = self.sweep(tmp_path, capsys, "ab", "0,1")
+        merged_path = tmp_path / "merged.json"
+        assert main(["rollup", str(shard_a), str(shard_b),
+                     "--output", str(merged_path)]) == 0
+        assert merged_path.read_text() == combined.read_text()
+        doc = json.loads(merged_path.read_text())
+        assert doc["runs"] == 2
+
+    def test_rollup_table_renders(self, tmp_path, capsys):
+        shard = self.sweep(tmp_path, capsys, "t", "0")
+        assert main(["rollup", str(shard), "--table"]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign rollup: 1 run(s)" in out
+        assert "Counters (summed across runs)" in out
+
+    def test_overlapping_shards_exit_1(self, tmp_path, capsys):
+        shard = self.sweep(tmp_path, capsys, "dup", "0")
+        assert main(["rollup", str(shard), str(shard)]) == 1
+        assert "overlap" in capsys.readouterr().err
+
+    def test_unreadable_shard_exits_2(self, tmp_path, capsys):
+        assert main(["rollup", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read rollup shard" in capsys.readouterr().err
