@@ -53,6 +53,11 @@ def build_parser() -> argparse.ArgumentParser:
                        default="adaptive",
                        help="power-bus integrator: event-driven 'adaptive' "
                             "(default) or the original fixed-step sampler")
+        p.add_argument("--comms-mode", choices=("chunked", "exact"),
+                       default="exact",
+                       help="comms transfer engine: single inverse-CDF "
+                            "drop-time sample 'exact' (default) or the "
+                            "original per-chunk Bernoulli loop")
         p.add_argument("--energy-step-s", type=float, default=None,
                        help="fixed-mode sampling step / adaptive planning "
                             "grid, seconds (default: 300)")
@@ -207,6 +212,7 @@ def _build_deployment(args, check_invariants: bool = False) -> Deployment:
         base.solar_w = args.solar_w
     for config in (base, reference):
         config.energy_mode = getattr(args, "energy_mode", "adaptive")
+        config.comms_mode = getattr(args, "comms_mode", "exact")
         if getattr(args, "energy_step_s", None) is not None:
             config.energy_step_s = args.energy_step_s
     deployment = Deployment(DeploymentConfig(seed=args.seed, base=base,

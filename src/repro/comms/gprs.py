@@ -32,7 +32,15 @@ class GprsModem(Modem):
     melt_fraction_fn:
         Optional seasonal signal (``glacier.melt_fraction``) used to blend
         the two outage rates.
+    mode:
+        Transfer engine (``"exact"`` default / ``"chunked"`` oracle); see
+        :class:`~repro.comms.link.Modem`.
     """
+
+    #: The mid-session drop hazard is time-independent (outages gate
+    #: *connecting*, not in-flight sessions), so the exact engine inverts
+    #: the drop CDF in closed form instead of walking the chunk grid.
+    hazard_constant = True
 
     def __init__(
         self,
@@ -45,8 +53,9 @@ class GprsModem(Modem):
         cost_per_mb: float = 5.0,
         melt_fraction_fn=None,
         seed: int = 0,
+        mode: str = "exact",
     ) -> None:
-        super().__init__(sim, bus, name, GPRS_MODEM, connect_s=45.0)
+        super().__init__(sim, bus, name, GPRS_MODEM, connect_s=45.0, mode=mode)
         self.outage_probability = outage_probability
         self.summer_outage_probability = summer_outage_probability
         self._drop_hazard = drop_hazard
@@ -54,6 +63,11 @@ class GprsModem(Modem):
         self.cost_total = 0.0
         self.melt_fraction_fn = melt_fraction_fn
         self.seed = seed
+        station = name.split(".")[0]
+        metrics = sim.obs.metrics
+        self._m_upload_bytes = metrics.counter("gprs_upload_bytes_total",
+                                               station=station)
+        self._m_cost = metrics.counter("gprs_cost_total", station=station)
 
     def _outage_probability(self, time: float) -> float:
         if self.melt_fraction_fn is None:
@@ -73,11 +87,8 @@ class GprsModem(Modem):
         return self._drop_hazard
 
     def send(self, nbytes: int, label: str = ""):
-        """Chunked send with per-MB billing on delivered bytes."""
+        """Send with per-MB billing on delivered bytes."""
         yield from super().send(nbytes, label=label)
         self.cost_total += nbytes / 1_000_000.0 * self.cost_per_mb
-        station = self.name.split(".")[0]
-        metrics = self.sim.obs.metrics
-        metrics.inc("gprs_upload_bytes_total", nbytes, station=station)
-        metrics.inc("gprs_cost_total",
-                    nbytes / 1_000_000.0 * self.cost_per_mb, station=station)
+        self._m_upload_bytes.inc(nbytes)
+        self._m_cost.inc(nbytes / 1_000_000.0 * self.cost_per_mb)

@@ -1,19 +1,41 @@
-"""Common modem machinery: power, connection state, chunked transfers.
+"""Common modem machinery: power, connection state, and drop-hazard transfers.
 
 A modem is a power-switched load with a connect/transfer/disconnect
-life-cycle.  Transfers proceed in short chunks; at every chunk boundary the
-link's failure hazard is sampled, so a drop loses only the in-flight file,
-and transfer time and energy automatically scale with the Table I rate and
-power figures.
+life-cycle.  The failure model is a piecewise-constant hazard sampled on a
+``chunk_s`` grid, so a drop loses only the in-flight file, and transfer
+time and energy automatically scale with the Table I rate and power
+figures.
+
+Two transfer engines implement that model:
+
+**chunked** (the original, kept as the A/B oracle) — one kernel timeout
+per chunk; at each chunk boundary the link draws a Bernoulli against
+``1 - (1 - hazard)**step``.  A year of daily 1 MB uploads at 5000 bps is
+~20k kernel events of pure polling.
+
+**exact** (default) — a single inverse-CDF draw picks the drop chunk up
+front: one uniform ``u``, then a pure-math walk over the same chunk grid
+accumulating log-survival ``step * log1p(-hazard)`` until it crosses
+``log(u)``.  Exactly one timeout is scheduled, at ``min(drop_time,
+transfer_time)``.  The per-chunk drop probabilities are identical —
+``P(drop at chunk i) = prod_{j<i} s_j - prod_{j<=i} s_j`` either way — so
+the two engines are *distributionally* equivalent (the equivalence suite
+in ``tests/comms/test_exact_equivalence.py`` pins this); they are not
+bitwise equivalent because the chunked engine burns one uniform per
+surviving chunk.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 from repro.energy.bus import PowerBus
 from repro.energy.components import DeviceSpec
 from repro.sim.kernel import Simulation
+
+#: Transfer engine names accepted by :class:`Modem` (and the CLI flag).
+COMMS_MODES = ("chunked", "exact")
 
 
 class LinkDown(Exception):
@@ -33,8 +55,17 @@ class Modem:
     connect_s:
         Time from power-on to a usable session.
     chunk_s:
-        Transfer chunk length; the failure hazard is sampled per chunk.
+        Hazard-grid resolution: the chunked engine yields one timeout per
+        chunk, the exact engine evaluates the hazard at the same chunk
+        boundaries without scheduling them.  Must be positive.
+    mode:
+        Transfer engine, ``"exact"`` (default) or ``"chunked"``.
     """
+
+    #: Subclasses whose :meth:`drop_hazard_per_s` ignores ``time`` set this
+    #: True so the exact engine can use the closed-form constant-hazard
+    #: inversion instead of walking the chunk grid.
+    hazard_constant = False
 
     def __init__(
         self,
@@ -44,15 +75,26 @@ class Modem:
         spec: DeviceSpec,
         connect_s: float = 30.0,
         chunk_s: float = 30.0,
+        mode: str = "exact",
     ) -> None:
         if spec.transfer_rate_bps is None:
             raise ValueError(f"{spec.name} has no transfer rate; not a modem")
+        if not chunk_s > 0.0:
+            raise ValueError(
+                f"{name}: chunk_s must be positive, got {chunk_s!r} "
+                "(a non-positive chunk would stall or reverse the transfer loop)"
+            )
+        if mode not in COMMS_MODES:
+            raise ValueError(
+                f"{name}: mode must be one of {COMMS_MODES}, got {mode!r}"
+            )
         self.sim = sim
         self.bus = bus
         self.name = name
         self.spec = spec
         self.connect_s = connect_s
         self.chunk_s = chunk_s
+        self.mode = mode
         self.load = bus.add_load(name, spec.power_w)
         self.connected = False
         self.bytes_sent_total = 0
@@ -67,6 +109,8 @@ class Modem:
                                                  modem=name, result="failed")
         self._m_drops = metrics.counter("modem_drops_total", modem=name)
         self._m_sent = metrics.counter("modem_sent_bytes_total", modem=name)
+        self._m_exact_draws = metrics.counter("comms_exact_draws_total",
+                                              modem=name)
 
     # ------------------------------------------------------------------
     # Failure model hooks (subclasses override)
@@ -108,33 +152,123 @@ class Modem:
         self.bus.loads.switch_off(self.name)
 
     def transfer_time_s(self, nbytes: int) -> float:
-        """Airtime to move ``nbytes`` at the link rate."""
-        assert self.spec.transfer_rate_bps is not None
+        """Airtime to move ``nbytes`` at the link rate.
+
+        ``transfer_rate_bps`` is validated non-None at construction, so
+        this never divides by a missing rate.
+        """
         return nbytes * 8.0 / self.spec.transfer_rate_bps
 
+    # ------------------------------------------------------------------
+    # Drop-time sampling (exact engine)
+    # ------------------------------------------------------------------
+    def _sample_drop_delay(self, total_s: float) -> Optional[float]:
+        """One inverse-CDF draw of the drop instant, or None for survival.
+
+        The chunked engine survives chunk ``i`` (length ``step_i``, hazard
+        evaluated at the chunk's *end* time) with probability
+        ``s_i = (1 - h_i)**step_i``.  Drawing a single uniform ``u`` and
+        dropping at the end of the first chunk where the running survival
+        product falls below ``u`` reproduces that distribution exactly:
+        ``P(drop at chunk i) = prod_{j<i} s_j - prod_{j<=i} s_j``.  The
+        walk is pure float math in log space (``step * log1p(-h)``) — no
+        kernel events, no extra RNG draws.
+
+        For a constant hazard the log-survival is linear in elapsed time
+        regardless of chunk boundaries, so subclasses with
+        ``hazard_constant = True`` skip the walk: the crossing point is
+        ``log(u) / log1p(-h)`` seconds, rounded up to the next chunk
+        boundary (drops are *detected* at boundaries in both engines).
+        """
+        self._m_exact_draws.inc()
+        u = self._drop_rng.random()
+        now = self.sim.now
+        chunk = self.chunk_s
+        if self.hazard_constant:
+            hazard = self.drop_hazard_per_s(now)
+            if hazard <= 0.0:
+                return None
+            if hazard >= 1.0 or u <= 0.0:
+                return min(chunk, total_s)
+            per_s = math.log1p(-hazard)  # log-survival per second, < 0
+            crossing_s = math.log(u) / per_s
+            if crossing_s >= total_s:
+                return None
+            boundary = chunk * (math.floor(crossing_s / chunk) + 1.0)
+            return min(boundary, total_s)
+        log_u = math.log(u) if u > 0.0 else -math.inf
+        log_survival = 0.0
+        elapsed = 0.0
+        while elapsed < total_s:
+            step = min(chunk, total_s - elapsed)
+            elapsed += step
+            hazard = self.drop_hazard_per_s(now + elapsed)
+            if hazard <= 0.0:
+                continue
+            if hazard >= 1.0:
+                return elapsed
+            log_survival += step * math.log1p(-hazard)
+            if log_survival < log_u:
+                return elapsed
+        return None
+
+    # ------------------------------------------------------------------
+    # Transfers
+    # ------------------------------------------------------------------
     def send(self, nbytes: int, label: str = ""):
         """Process: move ``nbytes`` over the connected session.
 
-        Chunked: a mid-transfer drop raises :class:`LinkDown` after the
+        A mid-transfer drop raises :class:`LinkDown` after the
         already-elapsed airtime (and energy) has been spent.  Progress
         within the payload is intentionally *not* reported — like the
         deployed system's scp, a dropped file must be resent in full.
+
+        In ``exact`` mode the whole transfer is one kernel timeout at
+        ``min(drop_time, transfer_time)``; in ``chunked`` mode it is one
+        timeout (and one hazard draw) per ``chunk_s``.
         """
         if not self.connected:
             raise LinkDown(f"{self.name}: not connected")
-        remaining_s = self.transfer_time_s(nbytes)
+        total_s = self.transfer_time_s(nbytes)
+        if self.mode == "chunked":
+            yield from self._send_chunked(total_s, label)
+        else:
+            yield from self._send_exact(total_s, label)
+        self.bytes_sent_total += nbytes
+        self._m_sent.inc(nbytes)
+        self.sim.trace.emit(self.name, "sent", nbytes=nbytes, label=label)
+
+    def _send_exact(self, total_s: float, label: str):
+        """One timeout at ``min(drop_time, transfer_time)``."""
+        drop_after = self._sample_drop_delay(total_s)
+        if drop_after is None:
+            if total_s > 0.0:
+                yield self.sim.timeout(total_s)
+            return
+        yield self.sim.timeout(drop_after)
+        self._record_drop(label)
+
+    def _send_chunked(self, total_s: float, label: str):
+        """The original per-chunk Bernoulli loop (the A/B oracle).
+
+        The per-iteration ``timeout(chunk)`` + RNG draw shape is exactly
+        what the ``no-polling-loop`` lint rule flags elsewhere; this loop
+        is the sanctioned oracle the exact engine is validated against.
+        """
+        remaining_s = total_s
         rng = self._drop_rng
+        chunk = self.chunk_s
         while remaining_s > 0:
-            step = min(self.chunk_s, remaining_s)
+            step = min(chunk, remaining_s)
             yield self.sim.timeout(step)
             remaining_s -= step
             hazard = self.drop_hazard_per_s(self.sim.now)
             if hazard > 0 and rng.random() < 1.0 - (1.0 - hazard) ** step:
-                self.connected = False
-                self.drops += 1
-                self._m_drops.inc()
-                self.sim.trace.emit(self.name, "link_drop", label=label)
-                raise LinkDown(f"{self.name}: dropped during {label or 'transfer'}")
-        self.bytes_sent_total += nbytes
-        self._m_sent.inc(nbytes)
-        self.sim.trace.emit(self.name, "sent", nbytes=nbytes, label=label)
+                self._record_drop(label)
+
+    def _record_drop(self, label: str):
+        self.connected = False
+        self.drops += 1
+        self._m_drops.inc()
+        self.sim.trace.emit(self.name, "link_drop", label=label)
+        raise LinkDown(f"{self.name}: dropped during {label or 'transfer'}")

@@ -132,6 +132,7 @@ class Station:
             summer_outage_probability=config.gprs_summer_outage_probability,
             melt_fraction_fn=glacier.melt_fraction if glacier is not None else None,
             seed=zlib.crc32(name.encode()),
+            mode=config.comms_mode,
         )
         self.sync = StateSynchronizer(sim, name, server, self.modem)
         self.recovery = ScheduleRecovery(
@@ -505,6 +506,7 @@ class BaseStation(Station):
                 sim, loss_fn=glacier.probe_radio_loss,
                 name=f"{self.name}.probe_link.{probe.probe_id}",
                 corruption_probability=probe_corruption_probability,
+                mode=config.comms_mode,
             )
             for probe in probes
         }

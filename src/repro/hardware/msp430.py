@@ -168,26 +168,52 @@ class Msp430:
     # Background processes
     # ------------------------------------------------------------------
     def _sampler(self):
+        """Battery/sensor sampling, armed a day of wakes at a time.
+
+        The cadence is fixed, so a whole day of wake instants is known up
+        front and can be armed as one
+        :meth:`~repro.sim.kernel.Simulation.schedule_many` batch — one heap
+        transaction per day instead of one per sample (at the 30-minute
+        default: 1 instead of 48).  A brown-out abandons the rest of the
+        plan: the first sample after recovery happens at the resume
+        instant and the plan restarts from there, which is exactly what
+        the old timeout-per-sample loop did (its armed wake fired into
+        ``_wait_if_halted`` and sampled on resume).  Abandoned wakes pop
+        later as empty no-callback events.  Wake instants are
+        ``plan_start + interval * (i + 1)`` — identical to the old loop's
+        repeated addition for the dyadic defaults (1800 s, 21600 s).
+        """
+        sim = self.sim
+        interval = self.sample_interval_s
+        slots = max(1, int(DAY / interval))
         while True:
-            yield self.sim.timeout(self.sample_interval_s)
-            yield from self._wait_if_halted()
-            rtc_hours = self.rtc.now().timestamp() / 3600.0
-            # Settled read: the periodic ADC conversion reports the steady
-            # state that held up to this instant, so a schedule slot firing
-            # at the same timestamp (e.g. the noon GPS toggle) cannot leak
-            # into the sample via dispatch order.
-            volts = self.bus.terminal_voltage(settled=True)
-            self.voltage_log.append((rtc_hours, volts))
-            self.sim.trace.emit(self.name, "voltage_sample", volts=round(volts, 4))
-            for sensor in self.sensors:
-                value = sensor.sample(self.sim.now)
-                self.sensor_log.append((rtc_hours, sensor.name, value))
-            excess = len(self.voltage_log) - self.BUFFER_CAPACITY
-            if excess > 0:
-                del self.voltage_log[:excess]
-            excess = len(self.sensor_log) - self.BUFFER_CAPACITY
-            if excess > 0:
-                del self.sensor_log[:excess]
+            timeouts = sim.schedule_many([interval * (i + 1) for i in range(slots)])
+            for timeout in timeouts:
+                yield timeout
+                if self.halted:
+                    yield from self._wait_if_halted()
+                    self._take_sample()
+                    break  # the RAM plan died with the brown-out: replan
+                self._take_sample()
+
+    def _take_sample(self) -> None:
+        rtc_hours = self.rtc.now().timestamp() / 3600.0
+        # Settled read: the periodic ADC conversion reports the steady
+        # state that held up to this instant, so a schedule slot firing
+        # at the same timestamp (e.g. the noon GPS toggle) cannot leak
+        # into the sample via dispatch order.
+        volts = self.bus.terminal_voltage(settled=True)
+        self.voltage_log.append((rtc_hours, volts))
+        self.sim.trace.emit(self.name, "voltage_sample", volts=round(volts, 4))
+        for sensor in self.sensors:
+            value = sensor.sample(self.sim.now)
+            self.sensor_log.append((rtc_hours, sensor.name, value))
+        excess = len(self.voltage_log) - self.BUFFER_CAPACITY
+        if excess > 0:
+            del self.voltage_log[:excess]
+        excess = len(self.sensor_log) - self.BUFFER_CAPACITY
+        if excess > 0:
+            del self.sensor_log[:excess]
 
     def _kick_scheduler(self) -> None:
         if self._scheduler_wait is not None and not self._scheduler_wait.triggered:

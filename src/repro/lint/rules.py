@@ -523,7 +523,77 @@ class NoHotPathAllocRule(Rule):
 
 
 # ----------------------------------------------------------------------
-# Rule 10: imports point strictly downwards (architecture.md §7)
+# Rule 10: no per-chunk polling loops
+# ----------------------------------------------------------------------
+@register
+class NoPollingLoopRule(Rule):
+    """Fixed-cadence polling with a per-iteration RNG draw must be inverted.
+
+    A ``while`` loop that yields a fixed-delay ``timeout(...)`` and draws
+    from an RNG each iteration is sampling a survival process one chunk at
+    a time: thousands of kernel events to answer "when does the first
+    failure land?".  The drop instant can be drawn *once* up front by
+    inverse-CDF (see ``Modem._sample_drop_delay`` and
+    docs/performance.md) and the loop replaced with a single timeout.
+    Two sanctioned exceptions: the chunked engine in ``comms/link.py`` is
+    the A/B oracle the exact engine is validated against, and the antenna
+    damage check in ``environment/damage.py`` runs at day cadence (365
+    events/year — not a hot path) with mutable repair state folded into
+    the loop.
+    """
+
+    id = "no-polling-loop"
+    description = "while loop yielding a fixed timeout() with a per-iteration RNG draw — draw the event time once by inverse-CDF"
+    exempt_path_suffixes = ("comms/link.py", "environment/damage.py")
+
+    #: RNG draw methods whose presence marks the loop as a sampler.
+    _DRAW_METHODS = frozenset(
+        {"random", "uniform", "normal", "integers", "choice",
+         "exponential", "poisson", "weibull"}
+    )
+
+    def _is_fixed_delay(self, node: ast.AST) -> bool:
+        """A delay the loop does not recompute: a literal, name or attribute."""
+        return isinstance(node, (ast.Constant, ast.Name, ast.Attribute))
+
+    def _yields_fixed_timeout(self, node: ast.AST) -> bool:
+        if not isinstance(node, ast.Yield) or not isinstance(node.value, ast.Call):
+            return False
+        call = node.value
+        parts = dotted_parts(call.func)
+        if not parts or parts[-1] != "timeout":
+            return False
+        return bool(call.args) and self._is_fixed_delay(call.args[0])
+
+    def _is_rng_draw(self, node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+            return False
+        if node.func.attr not in self._DRAW_METHODS:
+            return False
+        parts = dotted_parts(node.func)
+        # The receiver must name an rng (``rng.random()``,
+        # ``self._drop_rng.uniform()``); ``random.random()`` is rule 2's.
+        return bool(parts) and any("rng" in part.lower() for part in parts[:-1])
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.While):
+                continue
+            body = [inner for stmt in node.body for inner in ast.walk(stmt)]
+            if any(self._yields_fixed_timeout(inner) for inner in body) and any(
+                self._is_rng_draw(inner) for inner in body
+            ):
+                yield self.finding(
+                    ctx, node,
+                    "polling loop: yields a fixed timeout and draws from an "
+                    "RNG every iteration; sample the event time once by "
+                    "inverse-CDF and schedule a single timeout "
+                    "(docs/performance.md)",
+                )
+
+
+# ----------------------------------------------------------------------
+# Rule 11: imports point strictly downwards (architecture.md §7)
 # ----------------------------------------------------------------------
 @register
 class LayeringRule(Rule):

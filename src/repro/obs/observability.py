@@ -187,6 +187,7 @@ class Observability:
         self.metrics.set_gauge("kernel_events_scheduled", float(sim.events_scheduled))
         self.metrics.set_gauge("kernel_queue_depth", float(sim.queue_depth))
         self.metrics.set_gauge("kernel_sim_time_seconds", sim.now)
+        self.metrics.set_gauge("dispatch_batches_total", float(sim.dispatch_batches))
 
     def finalise(self, sim) -> "Optional[ConservationReport]":
         """Mission-close collection: kernel gauges + provenance close-out.

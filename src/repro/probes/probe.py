@@ -43,6 +43,16 @@ class Probe:
         off the true timeline — the reason the base station must keep the
         probes synchronised ("The RTC has to be corrected for
         synchronisation with the probes", Section IV).
+    defer_sampling:
+        Deferred materialisation (default): sensors are pure functions of
+        time and the believed-time stamp is linear between clock syncs, so
+        the fixed-cadence sample loop costs **zero kernel events** — the
+        buffer is synthesised retroactively, just before any interaction
+        that observes it (:meth:`task`, :attr:`buffered_count`,
+        :meth:`sync_clock`, an interval change).  ``False`` runs the
+        original one-event-per-sample loop — the equivalence oracle
+        (``tests/probes/test_deferred_sampling.py`` proves reading-level
+        bitwise equality).
     """
 
     def __init__(
@@ -53,11 +63,12 @@ class Probe:
         sampling_interval_s: float = 30.0 * MINUTE,
         lifetime_days: Optional[float] = None,
         clock_drift_ppm: float = 0.0,
+        defer_sampling: bool = True,
     ) -> None:
         self.sim = sim
         self.probe_id = probe_id
         self.sensors = sensors
-        self.sampling_interval_s = sampling_interval_s
+        self._sampling_interval_s = sampling_interval_s
         self.clock_drift_ppm = clock_drift_ppm
         self._clock_synced_at = sim.now
         self._clock_error_at_sync = 0.0
@@ -69,8 +80,13 @@ class Probe:
         self._active_task: Optional[TaskSnapshot] = None
         self._next_task_id = 1
         self.tasks_completed = 0
-        self.readings_taken = 0
-        sim.process(self._sampler(), name=f"probe.{probe_id}.sampler")
+        self._readings_taken = 0
+        self.defer_sampling = defer_sampling
+        #: Next due sample instant (deferred mode bookkeeping; mirrors the
+        #: wake the eager loop would have armed).
+        self._next_sample_at = sim.now + sampling_interval_s
+        if not defer_sampling:
+            sim.process(self._sampler(), name=f"probe.{probe_id}.sampler")
 
     # ------------------------------------------------------------------
     # Life and death
@@ -96,7 +112,10 @@ class Probe:
         """Time-sync from the base station (over the probe radio).
 
         ``residual_s`` is the sync protocol's own accuracy limit.
+        Pending deferred samples are materialised first: their believed
+        times belong to the *old* sync epoch.
         """
+        self._materialise(self.sim.now)
         self._clock_synced_at = self.sim.now
         self._clock_error_at_sync = residual_s
         self.sim.trace.emit(f"probe.{self.probe_id}", "clock_synced")
@@ -104,9 +123,24 @@ class Probe:
     # ------------------------------------------------------------------
     # Sampling
     # ------------------------------------------------------------------
+    @property
+    def sampling_interval_s(self) -> float:
+        """Measurement period; settable remotely (probe command)."""
+        return self._sampling_interval_s
+
+    @sampling_interval_s.setter
+    def sampling_interval_s(self, interval_s: float) -> None:
+        # The already-armed next wake keeps the old cadence (exactly what
+        # the eager loop does — its pending timeout is not rescheduled);
+        # samples after it follow the new interval.  Materialise first so
+        # no pending sample is synthesised with the new cadence.
+        self._materialise(self.sim.now)
+        self._sampling_interval_s = interval_s
+
     def _sampler(self):
+        """The eager one-event-per-sample loop (``defer_sampling=False``)."""
         while True:
-            yield self.sim.timeout(self.sampling_interval_s)
+            yield self.sim.timeout(self._sampling_interval_s)
             if not self.is_alive:
                 return
             channels = {sensor.name: sensor.sample(self.sim.now) for sensor in self.sensors}
@@ -114,11 +148,66 @@ class Probe:
                 Reading(probe_id=self.probe_id, seq=-1, time=self.believed_time(),
                         channels=channels)
             )
-            self.readings_taken += 1
+            self._readings_taken += 1
+
+    def _materialise(self, up_to: float) -> None:
+        """Synthesise every sample due at or before ``up_to`` (deferred mode).
+
+        Sample instants, sensor values and believed-time stamps are all
+        pure functions of time and of state that is constant between
+        state-observing interactions, so generating them lazily is
+        observationally identical to the eager loop — minus one kernel
+        event (and heap churn) per sample.
+
+        Tie convention: a sample due *exactly* at the observation instant
+        is included (``t <= up_to``).  In the eager loop that instant is a
+        same-timestamp tie whose order depends on the kernel tie-break
+        policy; deferred mode resolves it deterministically, consistent
+        with ``run(until=T)`` processing events at exactly ``T``.
+        """
+        if not self.defer_sampling:
+            return
+        t = self._next_sample_at
+        if t > up_to:
+            return
+        interval = self._sampling_interval_s
+        dies_at = self.dies_at
+        ppm = self.clock_drift_ppm
+        synced_at = self._clock_synced_at
+        error_at_sync = self._clock_error_at_sync
+        buffer = self._buffer
+        probe_id = self.probe_id
+        sensors = self.sensors
+        taken = 0
+        while t <= up_to:
+            if t >= dies_at:
+                # The eager loop's `if not is_alive: return` — sampling
+                # stops for good at the first wake past death.
+                self._next_sample_at = float("inf")
+                self._readings_taken += taken
+                return
+            # Same float associativity as believed_time()/clock_error_s(),
+            # so stamps are bitwise equal to the eager loop's.
+            believed = t + (error_at_sync + (t - synced_at) * ppm * 1e-6)
+            channels = {sensor.name: sensor.sample(t) for sensor in sensors}
+            buffer.append(
+                Reading(probe_id=probe_id, seq=-1, time=believed, channels=channels)
+            )
+            taken += 1
+            t += interval
+        self._next_sample_at = t
+        self._readings_taken += taken
+
+    @property
+    def readings_taken(self) -> int:
+        """Samples taken so far (materialises pending deferred samples)."""
+        self._materialise(self.sim.now)
+        return self._readings_taken
 
     @property
     def buffered_count(self) -> int:
         """Readings waiting to be bundled into the next task."""
+        self._materialise(self.sim.now)
         return len(self._buffer)
 
     # ------------------------------------------------------------------
@@ -131,6 +220,7 @@ class Probe:
         """
         if not self.is_alive:
             return None
+        self._materialise(self.sim.now)
         if self._active_task is None:
             if not self._buffer:
                 return None

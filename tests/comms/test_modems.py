@@ -27,6 +27,24 @@ class TestModemBase:
         with pytest.raises(ValueError):
             Modem(sim, bus, "bad", GUMSTIX)
 
+    @pytest.mark.parametrize("chunk_s", [0.0, -30.0])
+    def test_non_positive_chunk_rejected_at_construction(self, sim, bus, chunk_s):
+        # Regression: a zero/negative chunk used to be accepted and then
+        # stall (or reverse) the chunked transfer loop at send time.
+        with pytest.raises(ValueError, match="chunk_s must be positive"):
+            Modem(sim, bus, "bad", GPRS_MODEM, chunk_s=chunk_s)
+
+    def test_unknown_mode_rejected_at_construction(self, sim, bus):
+        with pytest.raises(ValueError, match="mode must be one of"):
+            Modem(sim, bus, "bad", GPRS_MODEM, mode="turbo")
+
+    def test_transfer_time_validated_without_assert(self, sim, bus):
+        # transfer_time_s used to guard the missing rate with a bare
+        # assert, which vanishes under ``python -O``; construction now
+        # rejects rate-less specs so the method needs no guard at all.
+        modem = Modem(sim, bus, "m", GPRS_MODEM)
+        assert modem.transfer_time_s(5000 // 8) == pytest.approx(1.0)
+
     def test_connect_powers_and_sets_state(self, sim, bus):
         modem = Modem(sim, bus, "m", GPRS_MODEM)
         sim.process(modem.connect())

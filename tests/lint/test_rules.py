@@ -455,6 +455,97 @@ class TestEnergyConservation:
         assert found == []
 
 
+class TestNoPollingLoop:
+    def test_fires_on_chunked_bernoulli_loop(self):
+        found = findings_for(
+            """
+            def send(self, total_s):
+                remaining = total_s
+                while remaining > 0:
+                    yield self.sim.timeout(self.chunk_s)
+                    remaining -= self.chunk_s
+                    if self._drop_rng.random() < 0.01:
+                        raise RuntimeError("drop")
+            """,
+            rule="no-polling-loop",
+        )
+        assert rule_ids(found) == ["no-polling-loop"]
+        assert found[0].line == 4
+
+    def test_fires_on_constant_delay_with_named_rng(self):
+        found = findings_for(
+            """
+            def watch(sim, rng):
+                while True:
+                    yield sim.timeout(30.0)
+                    value = rng.uniform(0.0, 1.0)
+            """,
+            rule="no-polling-loop",
+        )
+        assert rule_ids(found) == ["no-polling-loop"]
+
+    def test_quiet_without_rng_draw(self):
+        found = findings_for(
+            """
+            def sampler(self):
+                while True:
+                    yield self.sim.timeout(self.sample_interval_s)
+                    self.log.append(self.bus.terminal_voltage())
+            """,
+            rule="no-polling-loop",
+        )
+        assert found == []
+
+    def test_quiet_on_recomputed_delay(self):
+        # Variable-delay loops (backoff, adaptive cadence) are not polling.
+        found = findings_for(
+            """
+            def backoff(sim, rng):
+                delay = 1.0
+                while True:
+                    yield sim.timeout(delay * 2.0)
+                    delay = rng.uniform(1.0, 4.0)
+            """,
+            rule="no-polling-loop",
+        )
+        assert found == []
+
+    def test_quiet_on_rng_draw_outside_loop(self):
+        found = findings_for(
+            """
+            def once(sim, rng):
+                delay = rng.exponential(60.0)
+                while True:
+                    yield sim.timeout(delay)
+            """,
+            rule="no-polling-loop",
+        )
+        assert found == []
+
+    def test_oracle_modules_exempt(self):
+        snippet = """
+            def _send_chunked(self, total_s):
+                while total_s > 0:
+                    yield self.sim.timeout(self.chunk_s)
+                    total_s -= self.chunk_s
+                    if self._drop_rng.random() < 0.01:
+                        break
+            """
+        for path in ("src/repro/comms/link.py", "src/repro/environment/damage.py"):
+            assert findings_for(snippet, rule="no-polling-loop", path=path) == []
+
+    def test_shipped_tree_is_polling_clean(self):
+        """Outside the sanctioned oracles, the real tree has no polling loops."""
+        import pathlib
+
+        from repro.lint.engine import lint_paths
+
+        src = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+        findings = lint_paths([str(src)],
+                              rules=default_rules(select=["no-polling-loop"]))
+        assert findings == [], [str(f) for f in findings]
+
+
 class TestLayering:
     def test_fires_on_upward_import(self):
         found = findings_for(
@@ -565,7 +656,7 @@ class TestRegistry:
             "wall-clock", "rng-discipline", "float-equality",
             "mutable-default", "silent-except", "yield-discipline",
             "no-print", "no-hot-path-alloc", "energy-conservation",
-            "layering",
+            "no-polling-loop", "layering",
         }
         assert expected <= set(RULE_REGISTRY)
 

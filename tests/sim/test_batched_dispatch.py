@@ -1,0 +1,200 @@
+"""Edge cases of the batched same-timestamp dispatch in ``Simulation.run``.
+
+The run loop drains every equal-``when`` heap group in one pass: one
+clock write, one hook check, one until-comparison per *group* instead of
+per event.  These tests pin the behaviours that batching must not
+change — ``run(until=...)`` landing mid-group, ``stop()`` fired from
+inside a group, zero-delay events joining the open group, tie
+diagnostics during a drain — under all three tie-break policies, plus
+the ``dispatch_batches`` counter semantics the throughput benchmark
+exports.
+"""
+
+import pytest
+
+from repro.sim import Simulation
+
+POLICIES = ("fifo", "lifo", "shuffle:1")
+
+
+class TestBatchCounter:
+    def test_groups_counted_once(self):
+        sim = Simulation(seed=1)
+        for when in (5.0, 5.0, 5.0, 7.0, 9.0, 9.0):
+            sim.call_at(when, lambda: None)
+        sim.run()
+        assert sim.events_processed == 6
+        assert sim.dispatch_batches == 3
+
+    def test_singletons_are_batches_of_one(self):
+        sim = Simulation(seed=1)
+        for when in (1.0, 2.0, 3.0):
+            sim.call_at(when, lambda: None)
+        sim.run()
+        assert sim.dispatch_batches == sim.events_processed == 3
+
+    def test_step_counts_single_event_batches(self):
+        sim = Simulation(seed=1)
+        sim.call_at(5.0, lambda: None)
+        sim.call_at(5.0, lambda: None)
+        sim.step()
+        sim.step()
+        # step() is the one-event-at-a-time API: two batches of one.
+        assert sim.dispatch_batches == 2
+        assert sim.events_processed == 2
+
+    def test_schedule_many_all_equal_is_one_batch(self):
+        sim = Simulation(seed=1)
+        fired = []
+        timeouts = sim.schedule_many([10.0] * 50)
+
+        def waiter(sim, timeout, idx):
+            yield timeout
+            fired.append(idx)
+
+        for idx, timeout in enumerate(timeouts):
+            sim.process(waiter(sim, timeout, idx))
+        sim.run()
+        assert sorted(fired) == list(range(50))
+        # 50 process-start events at t=0 (one batch) + the 50 timeouts and
+        # their 50 process resumptions all at t=10 (one batch).
+        assert sim.dispatch_batches == 2
+
+
+class TestUntilMidGroup:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_until_at_group_time_processes_whole_group(self, policy):
+        sim = Simulation(seed=1, tie_break=policy)
+        fired = []
+        for idx in range(5):
+            sim.call_at(5.0, lambda idx=idx: fired.append(idx))
+        sim.call_at(6.0, lambda: fired.append("late"))
+        sim.run(until=5.0)
+        assert sorted(f for f in fired if f != "late") == list(range(5))
+        assert "late" not in fired
+        assert sim.now == 5.0
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_resume_after_until_continues_cleanly(self, policy):
+        sim = Simulation(seed=1, tie_break=policy)
+        fired = []
+        for when in (5.0, 5.0, 8.0, 8.0):
+            sim.call_at(when, lambda when=when: fired.append(when))
+        sim.run(until=5.0)
+        assert fired == [5.0, 5.0]
+        sim.run(until=8.0)
+        assert fired == [5.0, 5.0, 8.0, 8.0]
+
+    def test_zero_delay_spawn_during_until_group(self):
+        """An event scheduled at zero delay mid-group joins the open group
+        even when the group sits exactly at the until horizon."""
+        sim = Simulation(seed=1)
+        fired = []
+
+        def spawner():
+            fired.append("parent")
+            sim.call_at(sim.now, lambda: fired.append("child"))
+
+        sim.call_at(5.0, spawner)
+        sim.run(until=5.0)
+        assert fired == ["parent", "child"]
+
+
+class TestStopInsideGroup:
+    @pytest.mark.parametrize("policy", ("fifo", "lifo"))
+    def test_stop_halts_mid_group(self, policy):
+        sim = Simulation(seed=1, tie_break=policy)
+        fired = []
+        for idx in range(5):
+            def cb(idx=idx):
+                fired.append(idx)
+                if len(fired) == 2:
+                    sim.stop()
+            sim.call_at(5.0, cb)
+        sim.run()
+        # stop() is honoured between events of the group: exactly the two
+        # dispatched callbacks ran, the other three stayed queued.
+        assert len(fired) == 2
+        assert sim.queue_depth == 3
+        assert sim.now == 5.0
+
+    def test_stopped_group_resumes_where_it_left_off(self):
+        sim = Simulation(seed=1)
+        fired = []
+        for idx in range(4):
+            def cb(idx=idx):
+                fired.append(idx)
+                if idx == 1:
+                    sim.stop()
+            sim.call_at(5.0, cb)
+        sim.run()
+        assert fired == [0, 1]
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        # Both run() calls opened a batch at t=5.
+        assert sim.dispatch_batches == 2
+
+
+class TestZeroDelayJoinsGroup:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_chained_zero_delay_same_batch(self, policy):
+        sim = Simulation(seed=1, tie_break=policy)
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 4:
+                sim.call_at(sim.now, lambda: chain(depth + 1))
+
+        sim.call_at(3.0, lambda: chain(0))
+        sim.run()
+        assert sorted(fired) == list(range(5))
+        assert sim.now == 3.0
+        # The whole chain dispatched at one instant...
+        assert sim.events_processed == 5
+        if policy == "fifo":
+            # ...and under fifo, as one batch, in spawn order.
+            assert fired == list(range(5))
+            assert sim.dispatch_batches == 1
+
+
+class TestDiagnosticsAndHooksDuringDrain:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_tie_diagnostics_see_every_group_member(self, policy):
+        sim = Simulation(seed=1, tie_break=policy)
+        log = sim.enable_tie_diagnostics()
+        for _ in range(4):
+            sim.call_at(5.0, lambda: None)
+        sim.call_at(7.0, lambda: None)
+        sim.run()
+        assert len(log) == 5
+        assert [when for when, *_ in log] == [5.0] * 4 + [7.0]
+        assert sim.events_processed == 5
+
+    def test_events_processed_matches_with_and_without_diagnostics(self):
+        counts = {}
+        for diag in (False, True):
+            sim = Simulation(seed=1)
+            if diag:
+                sim.enable_tie_diagnostics()
+            for when in (2.0, 2.0, 2.0, 4.0):
+                sim.call_at(when, lambda: None)
+            sim.run()
+            counts[diag] = (sim.events_processed, sim.dispatch_batches)
+        assert counts[False] == counts[True] == (4, 2)
+
+    def test_exception_mid_group_propagates_and_preserves_rest(self):
+        sim = Simulation(seed=1)
+        fired = []
+        sim.call_at(5.0, lambda: fired.append("first"))
+
+        def boom():
+            raise RuntimeError("mid-group failure")
+
+        sim.call_at(5.0, boom)
+        sim.call_at(5.0, lambda: fired.append("third"))
+        with pytest.raises(RuntimeError, match="mid-group failure"):
+            sim.run()
+        assert fired == ["first"]
+        # The failing event was consumed; the rest of the group was not.
+        assert sim.queue_depth == 1
