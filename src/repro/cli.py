@@ -146,6 +146,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the streaming campaign metric rollup "
                             "(canonical JSON, byte-identical across --jobs "
                             "and cache states)")
+    sweep.add_argument("--backend", choices=("pool", "shared-dir"),
+                       default="pool",
+                       help="execution backend: 'pool' (local warm-worker "
+                            "pool, default) or 'shared-dir' (cooperatively "
+                            "drain a shared --work-dir with other hosts)")
+    sweep.add_argument("--chunk-size", type=int, default=None, metavar="N",
+                       help="jobs per worker batch (default: adaptive from "
+                            "measured run wall time; for shared-dir, the "
+                            "claim-block size fixed at campaign creation)")
+    sweep.add_argument("--work-dir", metavar="DIR", default=None,
+                       help="shared campaign directory (manifest + claims + "
+                            "cache); required by --backend shared-dir")
+    sweep.add_argument("--progress", action="store_true",
+                       help="print a periodic runs/s progress line to stderr")
+    sweep.add_argument("--stale-claim-s", type=float, default=None,
+                       metavar="SECONDS",
+                       help="shared-dir only: steal another drainer's claim "
+                            "once this old if its block is still incomplete "
+                            "(default: 300)")
+    sweep.add_argument("--cache-gc", action="store_true",
+                       help="prune cache entries written by older repro "
+                            "versions, report reclaimed bytes, and exit "
+                            "without sweeping")
 
     rollup = sub.add_parser(
         "rollup",
@@ -523,8 +546,38 @@ def _cmd_sweep(args) -> int:
             raise SystemExit(f"repro-sim: cannot load alert rules: {exc}")
     spec = SweepSpec(grid=expand_grid(params), seeds=seeds, days=args.days,
                      fault_plans=fault_plans, alert_rules=alert_rules)
-    cache = None if args.no_cache else SweepCache(args.cache_dir)
-    result = run_sweep(spec, jobs=args.jobs, cache=cache)
+    if args.cache_gc:
+        if args.no_cache:
+            raise SystemExit("--cache-gc and --no-cache are contradictory")
+        gc_root = args.cache_dir
+        if args.backend == "shared-dir":
+            import os
+
+            from repro.fleet.executor import CACHE_DIR
+
+            if not args.work_dir:
+                raise SystemExit("--backend shared-dir requires --work-dir")
+            gc_root = os.path.join(args.work_dir, CACHE_DIR)
+        report = SweepCache(gc_root).gc()
+        print(report.format(), file=sys.stderr)
+        return 0
+    cache = None
+    if args.backend == "shared-dir":
+        if not args.work_dir:
+            raise SystemExit("--backend shared-dir requires --work-dir")
+        if args.no_cache:
+            raise SystemExit("--backend shared-dir needs the cache "
+                             "(--no-cache is contradictory)")
+    elif not args.no_cache:
+        cache = SweepCache(args.cache_dir)
+    progress = None
+    if args.progress:
+        def progress(line: str) -> None:
+            print(line, file=sys.stderr)
+    result = run_sweep(spec, jobs=args.jobs, cache=cache,
+                       backend=args.backend, chunk_size=args.chunk_size,
+                       work_dir=args.work_dir, progress=progress,
+                       stale_claim_s=args.stale_claim_s)
     text = sweep_to_json(result)
     code = 0
     if args.output:

@@ -1,33 +1,46 @@
-"""repro.fleet — parallel sweep runner with a content-addressed result cache.
+"""repro.fleet — scale-out sweep engine with a content-addressed cache.
 
 The paper's experiments (EXPERIMENTS.md) are sweeps: the same deployment
 run across a grid of station configurations and seeds.  Each run is
 deterministic given ``(config, seed)``, so its summary is a pure function
-of its inputs — which makes two things cheap:
+of its inputs — which makes three things cheap:
 
-- **parallelism**: runs share nothing, so a process pool fans them out
-  (:func:`repro.fleet.runner.run_sweep`);
+- **parallelism**: runs share nothing, so warm pool workers drain them
+  in adaptively-sized chunks behind a bounded in-flight window
+  (:func:`repro.fleet.runner.run_sweep`,
+  :mod:`repro.fleet.executor`);
 - **caching**: a finished run's summary is stored under a digest of
-  ``(config overrides, days, seed, package version)`` and re-used by any
-  later sweep containing the same point
-  (:class:`repro.fleet.cache.SweepCache`).
+  ``(config overrides, days, seed, package version)`` — atomically, by
+  whichever process computed it — and re-used by any later sweep
+  containing the same point (:class:`repro.fleet.cache.SweepCache`);
+- **work sharing**: because completion is just "the cache entry exists",
+  several hosts can drain one campaign cooperatively and resumably over
+  a shared work directory (``backend="shared-dir"``).
 
-Merged sweep output is ordered by ``(config digest, seed)`` — never by
-completion order — so a sweep's JSON is byte-identical regardless of
-worker count or cache state.
+Merged sweep output is ordered by ``(config digest, fault plan, seed)``
+— never by completion order — so a sweep's JSON is byte-identical
+regardless of worker count, chunk size, backend, or cache state.
 
-The runner also maintains a streaming campaign rollup: each job's final
-metrics snapshot is folded into one
-:class:`~repro.obs.rollup.RollupAggregate` as futures complete (and
-stripped from the run record), so the campaign-level metric view costs
-O(metric families), not O(runs) — see ``docs/telemetry_rollup.md``.
+The runner also maintains a streaming campaign rollup: workers fold
+their chunk's metric snapshots into a local
+:class:`~repro.obs.rollup.RollupAggregate` and ship one lossless partial
+per chunk (stripped from run records), so the campaign-level metric view
+costs O(metric families), not O(runs) — see ``docs/telemetry_rollup.md``.
 """
 
-from repro.fleet.cache import SweepCache, config_digest, job_digest
+from repro.fleet.cache import GcReport, SweepCache, config_digest, job_digest
 from repro.fleet.results import SweepResult, merge_runs, sweep_to_json
-from repro.fleet.runner import SweepJob, SweepSpec, expand_grid, run_job, run_sweep
+from repro.fleet.runner import (
+    SweepJob,
+    SweepSpec,
+    expand_grid,
+    run_job,
+    run_sweep,
+    run_sweep_legacy,
+)
 
 __all__ = [
+    "GcReport",
     "SweepCache",
     "SweepJob",
     "SweepResult",
@@ -38,5 +51,6 @@ __all__ = [
     "merge_runs",
     "run_job",
     "run_sweep",
+    "run_sweep_legacy",
     "sweep_to_json",
 ]

@@ -9,7 +9,18 @@ invalidates every prior entry at once.
 Layout: ``<root>/<digest[:2]>/<digest>.json`` (two-level fan-out keeps
 directories small on big sweeps).  Writes are atomic — the payload goes
 to a ``.tmp`` sibling first and is then ``os.replace``d into place — so
-a killed sweep never leaves a truncated entry behind.
+a killed sweep never leaves a truncated entry behind, and *concurrent*
+writers (pool workers, shared-dir drainers on several hosts) can share
+one cache without locking: the digest pins the content, so whichever
+replace lands last wrote the same bytes.
+
+Entries record the package version that wrote them
+(``{"v": <version>, "summary": {...}}``) so :meth:`SweepCache.gc` can
+prune superseded generations — version-bumped entries are unreachable
+(their digest embeds the old version) but otherwise live on disk
+forever.  Files the cache cannot positively identify as its own stale
+entries (corrupt JSON, foreign files, legacy unwrapped payloads) are
+never touched.
 """
 
 from __future__ import annotations
@@ -17,9 +28,17 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro import __version__
+
+#: Orphaned ``.tmp`` files (a writer killed mid-store) older than this
+#: are reclaimed by :meth:`SweepCache.gc`; younger ones may belong to a
+#: live writer and are left alone.
+TMP_REAP_AGE_S = 3600.0
+
+_HEX = set("0123456789abcdef")
 
 
 def _canonical(payload: Any) -> str:
@@ -63,6 +82,25 @@ def job_digest(overrides: Mapping[str, Any], days: float, seed: int,
     return hashlib.sha256(_canonical(payload).encode()).hexdigest()
 
 
+@dataclass
+class GcReport:
+    """What :meth:`SweepCache.gc` removed and what it left alone."""
+
+    removed_entries: int = 0
+    removed_tmp: int = 0
+    reclaimed_bytes: int = 0
+    kept_entries: int = 0
+    skipped_foreign: int = 0
+
+    def format(self) -> str:
+        return (f"cache-gc: removed {self.removed_entries} stale entr"
+                f"{'y' if self.removed_entries == 1 else 'ies'} and "
+                f"{self.removed_tmp} orphaned tmp file(s), reclaimed "
+                f"{self.reclaimed_bytes} bytes; kept {self.kept_entries} "
+                f"current entr{'y' if self.kept_entries == 1 else 'ies'}, "
+                f"left {self.skipped_foreign} unrecognised file(s) untouched")
+
+
 class SweepCache:
     """Digest-keyed store of run summaries under ``root``."""
 
@@ -73,6 +111,15 @@ class SweepCache:
 
     def _path(self, digest: str) -> str:
         return os.path.join(self.root, digest[:2], f"{digest}.json")
+
+    def contains(self, digest: str) -> bool:
+        """Whether an entry exists on disk — a stat, no read or parse.
+
+        The chunked runner uses this to partition jobs cheaply in the
+        parent; it is advisory (the entry may appear or vanish before the
+        actual :meth:`load`), never a correctness gate.
+        """
+        return os.path.exists(self._path(digest))
 
     def load(self, digest: str) -> Optional[Dict[str, Any]]:
         """The cached summary for ``digest``, or None.
@@ -87,17 +134,101 @@ class SweepCache:
             self.misses += 1
             return None
         self.hits += 1
+        if isinstance(result, dict) and set(result) == {"v", "summary"}:
+            return result["summary"]
         return result
 
     def store(self, digest: str, result: Dict[str, Any]) -> None:
-        """Atomically persist ``result`` under ``digest``."""
+        """Atomically persist ``result`` under ``digest``.
+
+        The envelope records the writing package version so :meth:`gc`
+        can recognise superseded generations without reversing digests.
+        """
         path = self._path(digest)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         tmp = f"{path}.tmp.{os.getpid()}"
         with open(tmp, "w", encoding="utf-8") as fh:
-            fh.write(_canonical(result))
+            fh.write(_canonical({"v": __version__, "summary": result}))
         os.replace(tmp, path)
 
     def stats(self) -> Tuple[int, int]:
         """``(hits, misses)`` accumulated by this cache instance."""
         return self.hits, self.misses
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+    def gc(self) -> GcReport:
+        """Prune entries written by other ``repro`` versions.
+
+        Removes only files the cache positively identifies as its own
+        stale state: version-enveloped entries whose recorded version
+        differs from the running ``repro.__version__``, and orphaned
+        atomic-write temporaries older than :data:`TMP_REAP_AGE_S`.
+        Everything else — corrupt JSON, foreign files, legacy unwrapped
+        payloads, files outside the ``<2-hex>/<64-hex>.json`` layout —
+        is left untouched and reported as skipped.
+        """
+        import time
+
+        report = GcReport()
+        if not os.path.isdir(self.root):
+            return report
+        now = time.time()  # repro-lint: disable=wall-clock
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if len(shard) != 2 or not set(shard) <= _HEX \
+                    or not os.path.isdir(shard_dir):
+                report.skipped_foreign += 1
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                path = os.path.join(shard_dir, name)
+                if self._is_tmp_name(name):
+                    try:
+                        age = now - os.path.getmtime(path)
+                        if age >= TMP_REAP_AGE_S:
+                            size = os.path.getsize(path)
+                            os.remove(path)
+                            report.removed_tmp += 1
+                            report.reclaimed_bytes += size
+                        else:
+                            report.skipped_foreign += 1
+                    except OSError:
+                        report.skipped_foreign += 1
+                    continue
+                if not self._is_entry_name(name):
+                    report.skipped_foreign += 1
+                    continue
+                try:
+                    with open(path, "r", encoding="utf-8") as fh:
+                        payload = json.load(fh)
+                except (OSError, ValueError):
+                    report.skipped_foreign += 1
+                    continue
+                if not (isinstance(payload, dict)
+                        and set(payload) == {"v", "summary"}):
+                    report.skipped_foreign += 1
+                    continue
+                if payload["v"] == __version__:
+                    report.kept_entries += 1
+                    continue
+                try:
+                    size = os.path.getsize(path)
+                    os.remove(path)
+                except OSError:
+                    report.skipped_foreign += 1
+                    continue
+                report.removed_entries += 1
+                report.reclaimed_bytes += size
+        return report
+
+    @staticmethod
+    def _is_entry_name(name: str) -> bool:
+        return (name.endswith(".json") and len(name) == 69
+                and set(name[:64]) <= _HEX)
+
+    @staticmethod
+    def _is_tmp_name(name: str) -> bool:
+        head, sep, pid = name.rpartition(".tmp.")
+        return (bool(sep) and pid.isdigit()
+                and SweepCache._is_entry_name(head))

@@ -1,25 +1,47 @@
 """The fleet runner: fan a config×seed grid across worker processes.
 
 Each grid point is an independent deployment — no shared state, no
-ordering constraints — so the runner is a straight map over jobs with a
-cache lookup in front.  Cache reads and writes happen only in the parent
-process (workers stay pure functions), which keeps the cache free of
-write races without any locking.
+ordering constraints — so the runner is a map over jobs with a cache
+lookup in front.  Execution is delegated to a pluggable executor
+(:mod:`repro.fleet.executor`):
 
-``--jobs 1`` runs in-process; the output is byte-identical either way
-because :func:`repro.fleet.results.merge_runs` orders by
-``(config_digest, seed)`` before serialisation.
+- ``backend="pool"`` (default) — jobs the parent's cache probe can't
+  satisfy ship to warm pool workers in adaptive chunks; workers do their
+  own cache loads and atomic stores and return stripped records plus one
+  lossless partial rollup per chunk.  Parent-side cache hits are still
+  loaded in the parent (a hit is one JSON read — cheaper than a pool
+  round-trip), which keeps fully-warm sweeps as fast as ever.
+- ``backend="shared-dir"`` — several hosts drain one campaign manifest
+  cooperatively through an atomic claim-file protocol over a shared work
+  directory; every drainer assembles the identical sweep from the shared
+  cache when the campaign completes.
+
+``--jobs 1`` runs in-process; the output is byte-identical across jobs,
+chunk sizes, and backends because
+:func:`repro.fleet.results.merge_runs` orders by
+``(config_digest, fault plan, seed)`` and every rollup fold is exact and
+order-independent.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.config import DeploymentConfig, StationConfig
 from repro.core.deployment import Deployment
-from repro.fleet.cache import SweepCache, config_digest, job_digest
+from repro.fleet.cache import SweepCache, _canonical, config_digest, job_digest
 from repro.fleet.results import SweepResult
 
 #: Override items as a sorted tuple of pairs — hashable, picklable, and
@@ -66,12 +88,21 @@ class SweepSpec:
     #: Parsed alert-rules document applied to every run (None = no rules).
     alert_rules: Optional[Any] = None
 
-    def jobs(self) -> List[SweepJob]:
-        """The expanded job list, validated, in deterministic order."""
+    def total_jobs(self) -> int:
+        """Job count without expanding the grid (for progress totals)."""
+        plans = len(self.fault_plans) if self.fault_plans else 1
+        return len(self.grid) * plans * len(self.seeds)
+
+    def iter_jobs(self) -> Iterator[SweepJob]:
+        """Lazily yield validated jobs in deterministic order.
+
+        The streaming form of :meth:`jobs` — the chunked executor
+        consumes this directly so a million-run campaign never holds the
+        full job list (let alone a future per job) in memory.
+        """
         plans = self.fault_plans if self.fault_plans else [None]
         rules_json = (None if self.alert_rules is None
                       else _canonical_plan(self.alert_rules))
-        out: List[SweepJob] = []
         for overrides in self.grid:
             unknown = set(overrides) - _STATION_FIELDS
             if unknown:
@@ -83,20 +114,21 @@ class SweepSpec:
             for plan in plans:
                 plan_json = None if plan is None else _canonical_plan(plan)
                 for seed in self.seeds:
-                    out.append(
-                        SweepJob(
-                            overrides=items,
-                            seed=int(seed),
-                            days=self.days,
-                            config_digest=cfg_digest,
-                            digest=job_digest(overrides, self.days, seed,
-                                              fault_plan=plan,
-                                              alert_rules=self.alert_rules),
-                            fault_plan_json=plan_json,
-                            alert_rules_json=rules_json,
-                        )
+                    yield SweepJob(
+                        overrides=items,
+                        seed=int(seed),
+                        days=self.days,
+                        config_digest=cfg_digest,
+                        digest=job_digest(overrides, self.days, seed,
+                                          fault_plan=plan,
+                                          alert_rules=self.alert_rules),
+                        fault_plan_json=plan_json,
+                        alert_rules_json=rules_json,
                     )
-        return out
+
+    def jobs(self) -> List[SweepJob]:
+        """The expanded job list, validated, in deterministic order."""
+        return list(self.iter_jobs())
 
 
 def _canonical_plan(plan: Any) -> str:
@@ -164,7 +196,7 @@ def run_job(job: SweepJob) -> Dict[str, Any]:
         summary["alerts"] = alert_engine.summary()
     # The full registry snapshot rides in the summary so cache hits can be
     # folded into the campaign rollup without re-running anything; the
-    # parent strips it from run records after folding.
+    # folding side strips it from run records after folding.
     summary["metrics"] = obs.metrics.snapshot()
     return summary
 
@@ -222,19 +254,263 @@ def _absorb(result: SweepResult, job: SweepJob,
         result.rollup.fold(
             (job.config_digest, job.fault_plan_json or "", job.seed),
             snapshot)
+        result.parent_folds += 1
     result.runs.append(_record(job, summary))
+
+
+class SweepProgress:
+    """Throttled runs/s reporting through a caller-supplied line sink.
+
+    The runner itself never prints (repro-lint's no-print rule); the CLI
+    passes a stderr-writing callable when ``--progress`` is given.  Lines
+    are emitted at most every ``interval_s`` and never affect output
+    bytes.
+    """
+
+    def __init__(self, emit: Callable[[str], None], total: int,
+                 interval_s: float = 2.0) -> None:
+        import time
+
+        self.emit = emit
+        self.total = total
+        self.interval_s = interval_s
+        self.done = 0
+        self._start = time.perf_counter()  # repro-lint: disable=wall-clock
+        self._last_emit = self._start
+
+    def advance(self, runs: int) -> None:
+        import time
+
+        self.done += runs
+        now = time.perf_counter()  # repro-lint: disable=wall-clock
+        if now - self._last_emit >= self.interval_s:
+            self._last_emit = now
+            self.emit(self._line(now))
+
+    def finish(self) -> None:
+        import time
+
+        now = time.perf_counter()  # repro-lint: disable=wall-clock
+        self.emit(self._line(now))
+
+    def _line(self, now: float) -> str:
+        elapsed = max(now - self._start, 1e-9)
+        rate = self.done / elapsed
+        return (f"sweep: {self.done}/{self.total} runs "
+                f"({rate:.0f} runs/s, {elapsed:.1f}s elapsed)")
+
+
+def _chunk_absorber(result: SweepResult, where: str,
+                    progress: Optional[SweepProgress],
+                    fold_partials: bool = True,
+                    keep_records: bool = True) -> Callable[[Dict[str, Any]], None]:
+    """Build the parent-side sink for completed worker chunks."""
+
+    def absorb_chunk(out: Dict[str, Any]) -> None:
+        result.chunks_dispatched += 1
+        result.ipc_payload_bytes += out.get("payload_bytes", 0)
+        result.cache_hits += out.get("hits", 0)
+        result.cache_misses += out.get("misses", 0)
+        if result.telemetry is not None:
+            result.telemetry.inc("sweep_chunks_dispatched_total")
+            hits = out.get("hits", 0)
+            if hits:
+                result.telemetry.inc("sweep_worker_cache_hits_total",
+                                     amount=hits, where=where)
+        if fold_partials and out.get("rollup") is not None \
+                and result.rollup is not None:
+            result.rollup.absorb_partial(out["rollup"])
+            result.parent_folds += 1
+        if keep_records:
+            result.runs.extend(out["records"])
+        if progress is not None:
+            progress.advance(len(out["records"]))
+
+    return absorb_chunk
 
 
 def run_sweep(
     spec: SweepSpec,
     jobs: int = 1,
     cache: Optional[SweepCache] = None,
+    *,
+    backend: str = "pool",
+    chunk_size: Optional[int] = None,
+    work_dir: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    stale_claim_s: Optional[float] = None,
+    pool_factory: Optional[Callable[..., Any]] = None,
 ) -> SweepResult:
     """Run every grid point, using ``cache`` and up to ``jobs`` workers.
 
-    Cached points never reach the pool.  With ``jobs == 1`` the misses run
-    in-process (no pool, no pickling), which is also the path coverage
-    tools and debuggers see.
+    ``backend="pool"``: cache hits the parent's stat-probe finds are
+    loaded parent-side and never reach the pool; misses ship to warm
+    workers in bounded chunks (``chunk_size=None`` adapts to measured run
+    wall time).  With ``jobs <= 1`` the misses run in-process (no pool,
+    no pickling), which is also the path coverage tools and debuggers
+    see.
+
+    ``backend="shared-dir"``: ``work_dir`` hosts a campaign manifest, a
+    claim directory, and the shared cache; this invocation drains
+    whatever blocks it can claim (alongside any other drainers on the
+    same directory), waits for the rest, and assembles the full sweep
+    from the shared cache — identical bytes on every drainer.
+    ``stale_claim_s`` tunes how quickly a killed drainer's claims are
+    stolen.
+
+    ``progress`` is an optional line sink (the CLI's ``--progress``)
+    for periodic runs/s reporting.
+    """
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.rollup import RollupAggregate
+
+    result = SweepResult(rollup=RollupAggregate(), telemetry=MetricsRegistry())
+    reporter = (SweepProgress(progress, total=spec.total_jobs())
+                if progress is not None else None)
+
+    if backend == "shared-dir":
+        _run_shared_dir(spec, result, jobs=jobs, work_dir=work_dir,
+                        cache=cache, chunk_size=chunk_size,
+                        stale_claim_s=stale_claim_s, reporter=reporter,
+                        pool_factory=pool_factory)
+    elif backend == "pool":
+        _run_pool(spec, result, jobs=jobs, cache=cache,
+                  chunk_size=chunk_size, reporter=reporter,
+                  pool_factory=pool_factory)
+    else:
+        raise ValueError(f"unknown sweep backend {backend!r} "
+                         f"(expected 'pool' or 'shared-dir')")
+    if reporter is not None:
+        reporter.finish()
+    return result
+
+
+def _run_pool(spec: SweepSpec, result: SweepResult, *, jobs: int,
+              cache: Optional[SweepCache], chunk_size: Optional[int],
+              reporter: Optional[SweepProgress],
+              pool_factory: Optional[Callable[..., Any]]) -> None:
+    from repro.fleet import executor
+
+    parent_hits = 0
+
+    def pending() -> Iterator[SweepJob]:
+        """Jobs the parent-side cache could not satisfy, lazily.
+
+        Hits are loaded and folded right here — one JSON read, strictly
+        cheaper than any pool round-trip, so the chunked engine is never
+        slower than the classic runner when the cache is hot.  Workers
+        re-probe misses anyway (shared caches can fill underneath us).
+        """
+        nonlocal parent_hits
+        for job in spec.iter_jobs():
+            if cache is not None:
+                summary = cache.load(job.digest)
+                if summary is not None:
+                    parent_hits += 1
+                    result.cache_hits += 1
+                    _absorb(result, job, summary)
+                    if reporter is not None:
+                        reporter.advance(1)
+                    continue
+            yield job
+
+    if jobs <= 1:
+        for job in pending():
+            summary = run_job(job)
+            if cache is not None:
+                cache.store(job.digest, summary)
+            result.cache_misses += 1
+            _absorb(result, job, summary)
+            if reporter is not None:
+                reporter.advance(1)
+    else:
+        absorb = _chunk_absorber(result, where="worker", progress=reporter)
+        kwargs: Dict[str, Any] = {}
+        if pool_factory is not None:
+            kwargs["pool_factory"] = pool_factory
+        executor.run_chunked_pool(
+            pending(),
+            workers=jobs,
+            cache_root=cache.root if cache is not None else None,
+            absorb=absorb,
+            chunk_size=chunk_size,
+            **kwargs,
+        )
+    # Hit-loop telemetry is batched to one inc — per-hit counter lookups
+    # would tax exactly the warm path the parent-side load keeps fast.
+    if result.telemetry is not None and parent_hits:
+        result.telemetry.inc("sweep_worker_cache_hits_total",
+                             amount=parent_hits, where="parent")
+
+
+def _run_shared_dir(spec: SweepSpec, result: SweepResult, *, jobs: int,
+                    work_dir: Optional[str], cache: Optional[SweepCache],
+                    chunk_size: Optional[int],
+                    stale_claim_s: Optional[float],
+                    reporter: Optional[SweepProgress],
+                    pool_factory: Optional[Callable[..., Any]]) -> None:
+    import os
+
+    from repro.fleet import executor
+
+    if work_dir is None:
+        raise ValueError("backend='shared-dir' requires work_dir")
+    if cache is not None:
+        raise ValueError(
+            "backend='shared-dir' manages its own cache under work_dir; "
+            "do not pass one")
+    executor.ensure_manifest(
+        work_dir, spec,
+        block_size=chunk_size or executor.DEFAULT_BLOCK_SIZE)
+    # Drain-phase chunk results are used for *accounting only* — records
+    # and rollup folds come from the deterministic assembly below, so
+    # workers skip partial building and the parent drops their records.
+    absorb = _chunk_absorber(result, where="worker", progress=reporter,
+                             fold_partials=False, keep_records=False)
+    kwargs: Dict[str, Any] = {}
+    if stale_claim_s is not None:
+        kwargs["stale_claim_s"] = stale_claim_s
+    if pool_factory is not None:
+        kwargs["pool_factory"] = pool_factory
+    all_jobs = executor.drain_shared_dir(
+        work_dir,
+        workers=jobs,
+        collect_rollup=False,
+        absorb=absorb,
+        **kwargs,
+    )
+    computed = result.cache_misses
+    # Assembly: every drainer loads every entry in deterministic job
+    # order and folds parent-side — identical sweep and rollup bytes on
+    # every host, regardless of who computed what.
+    shared_cache = SweepCache(os.path.join(work_dir, executor.CACHE_DIR))
+    for job in all_jobs:
+        summary = shared_cache.load(job.digest)
+        if summary is None:
+            raise RuntimeError(
+                f"shared-dir drain finished but cache entry {job.digest} "
+                f"is missing — was the cache pruned mid-campaign?")
+        _absorb(result, job, summary)
+    result.cache_misses = computed
+    result.cache_hits = len(all_jobs) - computed
+    if result.telemetry is not None and result.cache_hits:
+        result.telemetry.inc("sweep_worker_cache_hits_total",
+                             amount=result.cache_hits, where="parent")
+
+
+def run_sweep_legacy(
+    spec: SweepSpec,
+    jobs: int = 1,
+    cache: Optional[SweepCache] = None,
+) -> SweepResult:
+    """The pre-executor engine: one future per job, parent-side cache I/O.
+
+    Kept as the baseline arm of ``benchmarks/test_sweep_scale.py`` — the
+    submit-everything futures dict, full metric snapshots over IPC, and
+    per-run parent folds are exactly the overheads the chunked engine
+    removes, and the A/B quantifies them.  Not wired to the CLI;
+    ``ipc_payload_bytes``/``parent_folds`` accounting mirrors the new
+    engine so the counters compare like for like.
     """
     from repro.obs.rollup import RollupAggregate
 
@@ -266,6 +542,7 @@ def run_sweep(
             for future in done:
                 job = futures[future]
                 summary = future.result()
+                result.ipc_payload_bytes += len(_canonical(summary))
                 if cache is not None:
                     cache.store(job.digest, summary)
                 _absorb(result, job, summary)

@@ -20,6 +20,16 @@ order:
 Shards produced by independent sweep invocations merge with
 :func:`merge_rollups` (the ``repro-sim rollup`` subcommand); overlapping
 fold keys across shards raise rather than silently double-count.
+
+Inside one sweep the chunked executor ships **partial** aggregates from
+worker processes instead (:meth:`RollupAggregate.to_partial_doc` /
+:meth:`RollupAggregate.absorb_partial`).  Partials carry the raw
+Shewchuk partial sums — lossless, unlike the correctly-rounded values a
+final rollup JSON records — so the parent's merged total is the exact
+sum of every raw increment regardless of how jobs were partitioned into
+chunks.  Rounding a shard's counter and then summing the rounded values
+is *not* partition-independent; shipping partials is what keeps the
+rollup byte-identical across ``--jobs``, chunk sizes, and backends.
 """
 
 from __future__ import annotations
@@ -71,6 +81,20 @@ class ExactSum:
     def value(self) -> float:
         """The correctly-rounded sum of everything added so far."""
         return math.fsum(self._partials)
+
+    def partials(self) -> List[float]:
+        """The non-overlapping partials — a lossless copy of the state.
+
+        Their exact mathematical sum equals the running sum, so feeding
+        them one by one into another accumulator transfers the state
+        without any rounding step in between.
+        """
+        return list(self._partials)
+
+    def add_partials(self, values: Iterable[float]) -> None:
+        """Fold another accumulator's :meth:`partials` into this one."""
+        for value in values:
+            self.add(float(value))
 
 
 class _HistAccumulator:
@@ -151,6 +175,100 @@ class RollupAggregate:
         return True
 
     # ------------------------------------------------------------------
+    # Worker partials (intra-sweep IPC)
+    # ------------------------------------------------------------------
+    #: Wire-format marker for worker partial documents.
+    PARTIAL_VERSION = "rollup-partial-1"
+
+    def to_partial_doc(self) -> Dict[str, object]:
+        """The aggregate as a lossless partial for parent-side merging.
+
+        Counter values and histogram sums ship as raw Shewchuk partials
+        (:meth:`ExactSum.partials`), not rounded floats: the parent adds
+        them straight into its own accumulators, so the merged total is
+        the exact sum of every underlying increment no matter how the
+        sweep's jobs were cut into chunks.  Gauges ship with their
+        winning fold key so last-by-key survives the hop.  JSON-safe by
+        construction (``repr`` round-trips floats exactly).
+        """
+        counters = [
+            {"name": name, "labels": dict(labels), "partials": acc.partials()}
+            for (name, labels), acc in self._counters.items()
+        ]
+        gauges = [
+            {"name": name, "labels": dict(labels), "key": list(key),
+             "value": value}
+            for (name, labels), (key, value) in self._gauges.items()
+        ]
+        hists = [
+            {"name": name, "labels": dict(labels),
+             "buckets": list(hist.buckets), "counts": list(hist.counts),
+             "inf_count": hist.inf_count,
+             "sum_partials": hist.sum.partials(), "count": hist.count}
+            for (name, labels), hist in self._hists.items()
+        ]
+        return {
+            "version": self.PARTIAL_VERSION,
+            "keys": [list(key) for key in sorted(self._keys)],
+            "kinds": dict(self._kinds),
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": hists,
+        }
+
+    def absorb_partial(self, doc: Mapping[str, object]) -> None:
+        """Merge one worker's :meth:`to_partial_doc` into this aggregate.
+
+        Overlapping fold keys raise — inside a sweep every job belongs to
+        exactly one chunk, so a shared key means the executor dispatched
+        a job twice and the counters would double-count.
+        """
+        version = doc.get("version")
+        if version != self.PARTIAL_VERSION:
+            raise ValueError(f"unsupported rollup partial version {version!r}")
+        keys = {(str(k[0]), str(k[1]), int(k[2]))
+                for k in doc["keys"]}  # type: ignore[union-attr]
+        overlap = keys & self._keys
+        if overlap:
+            sample = sorted(overlap)[0]
+            raise ValueError(
+                f"rollup partials overlap on fold key {sample!r} "
+                f"({len(overlap)} shared keys) — a job was folded twice")
+        for name, kind in doc["kinds"].items():  # type: ignore[union-attr]
+            pinned = self._kinds.setdefault(name, kind)
+            if pinned != kind:
+                raise ValueError(
+                    f"metric {name!r} is a {pinned} in one partial and a "
+                    f"{kind} in another")
+        for entry in doc["counters"]:  # type: ignore[index]
+            self._counters.setdefault(
+                _entry_key(entry), ExactSum()).add_partials(entry["partials"])
+        for entry in doc["gauges"]:  # type: ignore[index]
+            key = entry["key"]
+            candidate = ((str(key[0]), str(key[1]), int(key[2])),
+                         float(entry["value"]))
+            metric_key = _entry_key(entry)
+            current = self._gauges.get(metric_key)
+            if current is None or candidate[0] > current[0]:
+                self._gauges[metric_key] = candidate
+        for entry in doc["histograms"]:  # type: ignore[index]
+            buckets = tuple(float(b) for b in entry["buckets"])
+            metric_key = _entry_key(entry)
+            hist = self._hists.get(metric_key)
+            if hist is None:
+                hist = self._hists[metric_key] = _HistAccumulator(buckets)
+            elif hist.buckets != buckets:
+                raise ValueError(
+                    f"histogram {entry['name']!r} bucket specs disagree "
+                    f"across partials: {hist.buckets} vs {buckets}")
+            for index, count in enumerate(entry["counts"]):
+                hist.counts[index] += int(count)
+            hist.inf_count += int(entry["inf_count"])
+            hist.sum.add_partials(entry["sum_partials"])
+            hist.count += int(entry["count"])
+        self._keys.update(keys)
+
+    # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------
     def to_doc(self) -> Dict[str, object]:
@@ -202,6 +320,13 @@ class RollupAggregate:
                 hist.sum = float(entry["sum"])
                 hist.count = int(entry["count"])
         return registry
+
+
+def _entry_key(entry: Mapping[str, object]) -> _MetricKey:
+    """The aggregate-internal identity of a partial-doc metric entry."""
+    return (entry["name"], tuple(sorted(
+        (str(k), str(v))
+        for k, v in entry["labels"].items())))  # type: ignore[union-attr]
 
 
 def merge_rollups(docs: Iterable[Mapping[str, object]]) -> Dict[str, object]:
