@@ -79,6 +79,38 @@ def _comms_section(deployment) -> str:
     )
 
 
+def _fleet_section(deployment) -> str:
+    fleet = deployment.fleet
+    rows = []
+    shard_bytes = []
+    for shard in fleet.shards:
+        nbytes = shard.received_bytes()
+        shard_bytes.append(nbytes)
+        rows.append(
+            (
+                shard.name,
+                len(shard.uploads),
+                round(nbytes / 1e6, 2),
+                shard.state_uploads,
+                shard.retransfers,
+            )
+        )
+    table = format_table(
+        ["Shard", "Uploads", "Received (MB)", "State syncs", "Retransfers"],
+        rows,
+        title="Server fleet",
+    )
+    mean = sum(shard_bytes) / len(shard_bytes) if shard_bytes else 0.0
+    hops = sum(getattr(s.server, "hops", 0) for s in deployment.stations)
+    extra = (
+        f"\nPolicy: {deployment.config.server_policy}; "
+        f"load imbalance (max/mean bytes): "
+        f"{(max(shard_bytes) / mean) if mean else 0.0:.3f}; "
+        f"station hops: {hops}"
+    )
+    return table + extra
+
+
 def _probe_section(deployment) -> str:
     rows = []
     for probe in deployment.probes:
@@ -219,6 +251,10 @@ def mission_report(deployment) -> str:
         _station_section(deployment),
         _power_section(deployment),
         _comms_section(deployment),
+    ]
+    if getattr(deployment, "fleet", None) is not None:
+        sections.append(_fleet_section(deployment))
+    sections += [
         _probe_section(deployment),
         _science_section(deployment),
         _observability_section(deployment),

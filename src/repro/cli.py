@@ -79,6 +79,26 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--alerts", metavar="RULES.json", default=None,
                        help="declarative alert/SLO rules evaluated against "
                             "the run (JSON; see docs/telemetry_rollup.md)")
+        fleet_args(p)
+
+    def fleet_args(p):
+        p.add_argument("--stations", type=int, default=None, metavar="N",
+                       help="total station count (>= 2: base + reference + "
+                            "solar-only extras)")
+        p.add_argument("--servers", type=int, default=None, metavar="N",
+                       help="server fleet size (default 1 = the classic "
+                            "single Southampton server)")
+        p.add_argument("--server-policy",
+                       choices=("static", "round-robin", "hop"), default=None,
+                       help="station upload-target policy against a multi-"
+                            "server fleet (default: static)")
+        p.add_argument("--tenant-size", type=int, default=None, metavar="K",
+                       help="group stations into tenants of K for per-tenant "
+                            "override state (default: one global tenant)")
+        p.add_argument("--batched-sync", action="store_true",
+                       help="stations use the single-request sync_session "
+                            "endpoint (state up + override + specials + "
+                            "load hints in one modem exchange)")
 
     simulate = sub.add_parser("simulate", help="run a deployment and summarise")
     common(simulate)
@@ -169,6 +189,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="prune cache entries written by older repro "
                             "versions, report reclaimed bytes, and exit "
                             "without sweeping")
+    sweep.add_argument("--stations", type=int, default=None, metavar="N",
+                       help="total station count per run (sugar for "
+                            "--param extra_stations=N-2)")
+    sweep.add_argument("--servers", default=None, metavar="N1,N2,...",
+                       help="server fleet size(s) as a grid axis (sugar for "
+                            "--param servers=...)")
+    sweep.add_argument("--server-policy", default=None, metavar="P1,P2,...",
+                       help="upload-target policy grid axis: static, "
+                            "round-robin, hop (sugar for "
+                            "--param server_policy=...)")
 
     rollup = sub.add_parser(
         "rollup",
@@ -193,6 +223,7 @@ def build_parser() -> argparse.ArgumentParser:
     races.add_argument("--seed", type=int, default=0, help="master seed")
     races.add_argument("--faults", metavar="PLAN.json", default=None,
                        help="fault plan to arm in every replay (JSON file)")
+    fleet_args(races)
     races.add_argument("--policies", default="fifo,shuffle:1",
                        metavar="P1,P2,...",
                        help="tie-break policies; the first is the replay "
@@ -226,6 +257,24 @@ def _load_fault_plan(args) -> Optional[dict]:
         return json.load(fh)
 
 
+def _fleet_overrides(args) -> dict:
+    """``--stations/--servers/...`` as DeploymentConfig kwargs."""
+    overrides = {}
+    stations = getattr(args, "stations", None)
+    if stations is not None:
+        if stations < 2:
+            raise SystemExit("repro-sim: --stations must be >= 2 "
+                             "(base + reference)")
+        overrides["extra_stations"] = stations - 2
+    if getattr(args, "servers", None) is not None:
+        overrides["servers"] = args.servers
+    if getattr(args, "server_policy", None) is not None:
+        overrides["server_policy"] = args.server_policy
+    if getattr(args, "tenant_size", None) is not None:
+        overrides["tenant_size"] = args.tenant_size
+    return overrides
+
+
 def _build_deployment(args, check_invariants: bool = False) -> Deployment:
     base = StationConfig()
     reference = reference_defaults()
@@ -233,6 +282,8 @@ def _build_deployment(args, check_invariants: bool = False) -> Deployment:
         base.wind_w = 0.0
     if args.solar_w is not None:
         base.solar_w = args.solar_w
+    if getattr(args, "batched_sync", False):
+        base.batched_sync = True
     for config in (base, reference):
         config.energy_mode = getattr(args, "energy_mode", "adaptive")
         config.comms_mode = getattr(args, "comms_mode", "exact")
@@ -240,7 +291,8 @@ def _build_deployment(args, check_invariants: bool = False) -> Deployment:
             config.energy_step_s = args.energy_step_s
     deployment = Deployment(DeploymentConfig(seed=args.seed, base=base,
                                              reference=reference,
-                                             fault_plan=_load_fault_plan(args)))
+                                             fault_plan=_load_fault_plan(args),
+                                             **_fleet_overrides(args)))
     #: Armed fault engine (None without --faults); ``inject`` reads the
     #: invariant report off it after the run.
     deployment.fault_engine = None
@@ -524,6 +576,19 @@ def _cmd_sweep(args) -> int:
         if not sep or not values:
             raise SystemExit(f"--param must look like FIELD=V1,V2,... (got {spec_arg!r})")
         params[name] = [_parse_param_value(v) for v in values.split(",")]
+    # Fleet sugar: the flags expand to ordinary grid axes, so they cross
+    # with --param and land in config digests like any other override.
+    if args.stations is not None:
+        if args.stations < 2:
+            raise SystemExit("repro-sim: --stations must be >= 2")
+        params.setdefault("extra_stations", [args.stations - 2])
+    if args.servers:
+        params.setdefault("servers",
+                          [int(v) for v in args.servers.split(",") if v])
+    if args.server_policy:
+        params.setdefault(
+            "server_policy",
+            [p.strip() for p in args.server_policy.split(",") if p.strip()])
     seeds = [int(s) for s in args.seeds.split(",") if s]
     fault_plans = None
     if args.faults:
@@ -648,7 +713,8 @@ def _cmd_races(args) -> int:
     fault_plan = _load_fault_plan(args)
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
     report = check_tie_robustness(seed=args.seed, days=args.days,
-                                  policies=policies, fault_plan=fault_plan)
+                                  policies=policies, fault_plan=fault_plan,
+                                  overrides=_fleet_overrides(args) or None)
     if args.format == "json":
         text = json.dumps({
             "static": [finding.to_dict() for finding in static_findings],

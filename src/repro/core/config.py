@@ -90,6 +90,10 @@ class StationConfig:
     energy_step_s: float = 300.0
     #: Adaptive mode: longest allowed gap between bus syncs, seconds.
     energy_max_step_s: float = 21600.0
+    #: Fold state upload + override fetch + special drain into one
+    #: ``sync_session`` request per contact (the fleet's batched state-sync
+    #: endpoint); ``False`` keeps the paper's three separate round-trips.
+    batched_sync: bool = False
 
 
 def reference_defaults(name: str = "reference") -> StationConfig:
@@ -145,3 +149,24 @@ class DeploymentConfig:
     #: policies are replay *controls* for the races harness
     #: (``repro.lint.tie_replay``); production runs keep fifo.
     tie_break: str = "fifo"
+    #: Additional solar-only stations beyond the paper's base + reference
+    #: pair (``station00``, ``station01``, ...), each with its wake/comms
+    #: window staggered so contacts spread across the day.
+    extra_stations: int = 0
+    #: Southampton server shards.  1 (default) keeps the paper's single
+    #: standalone server; >1 builds a :class:`repro.server.fleet.ServerFleet`
+    #: and gives every station a policy-driven
+    #: :class:`repro.core.targets.FleetClient`.
+    servers: int = 1
+    #: Station-side upload-target policy against a fleet: ``"static"``
+    #: (stay on the home shard), ``"round-robin"``, or ``"hop"``
+    #: (commons-style least-loaded/cheapest choice from piggybacked load
+    #: hints).  Ignored when ``servers == 1``.
+    server_policy: str = "static"
+    #: Relative energy/egress cost per shard for the ``hop`` policy
+    #: (len == ``servers``); ``None`` means all shards cost 1.0.
+    server_costs: Optional[List[float]] = None
+    #: Stations per tenant for the fleet's per-tenant override state
+    #: (grouped in deployment order).  0 keeps the paper's single global
+    #: min rule across all stations.
+    tenant_size: int = 0

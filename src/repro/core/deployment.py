@@ -10,21 +10,49 @@ library's primary entry point::
     deployment = Deployment(DeploymentConfig(seed=42))
     deployment.run_days(30)
     print(deployment.base.effective_state)
+
+Beyond the paper's pair, ``extra_stations`` adds solar-only satellite
+stations and ``servers > 1`` replaces the single Southampton box with a
+:class:`~repro.server.fleet.ServerFleet`; each station then talks through
+its own policy-driven :class:`~repro.core.targets.FleetClient`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from typing import List, Optional
 
-from repro.core.config import DeploymentConfig
+from repro.core.config import DeploymentConfig, StationConfig
 from repro.core.station import BaseStation, ReferenceStation
+from repro.core.targets import FleetClient
 from repro.environment.glacier import GlacierModel
 from repro.environment.weather import IcelandWeather
 from repro.probes.probe import Probe, WiredProbe
 from repro.sensors.probe_sensors import make_probe_sensor_suite
 from repro.sensors.station_sensors import make_station_sensor_suite
+from repro.server.fleet import ServerFleet, tenant_map
 from repro.server.server import SouthamptonServer
 from repro.sim.kernel import Simulation
+
+#: Stagger applied to each extra station's wake/comms hours, seconds.  A
+#: prime-ish offset keeps hundreds of stations from dialling the fleet at
+#: the same simulated instant (which would also create same-timestamp
+#: ordering hazards on shared server state).
+EXTRA_STATION_STAGGER_S = 97.0
+
+
+def _extra_station_config(base: StationConfig, index: int) -> StationConfig:
+    """A solar-only satellite station derived from the base config."""
+    stagger_h = (index + 1) * EXTRA_STATION_STAGGER_S / 3600.0
+    return dataclasses.replace(
+        base,
+        name=f"station{index:02d}",
+        wind_w=0.0,
+        mains_w=0.0,
+        fixed_position_m=None,
+        wake_hour=base.wake_hour + stagger_h,
+        comms_hour=base.comms_hour + stagger_h,
+    )
 
 
 class Deployment:
@@ -36,7 +64,31 @@ class Deployment:
         self.sim = Simulation(seed=cfg.seed, tie_break=cfg.tie_break)
         self.weather = IcelandWeather(cfg.weather, seed=cfg.seed)
         self.glacier = GlacierModel(cfg.glacier, seed=cfg.seed)
-        self.server = SouthamptonServer(self.sim)
+
+        # --- server side: single box, or a fleet of shards ---
+        extra_configs = [
+            _extra_station_config(cfg.base, index) for index in range(cfg.extra_stations)
+        ]
+        station_names = [cfg.base.name, cfg.reference.name] + [
+            extra.name for extra in extra_configs
+        ]
+        if cfg.servers < 1:
+            raise ValueError(f"servers must be >= 1, got {cfg.servers}")
+        self.fleet: Optional[ServerFleet] = None
+        if cfg.servers > 1 or cfg.tenant_size > 0:
+            tenant_of = (
+                tenant_map(station_names, cfg.tenant_size)
+                if cfg.tenant_size > 0 else None
+            )
+            self.fleet = ServerFleet(self.sim, cfg.servers, tenant_of=tenant_of)
+            if len(self.fleet.shards) == 1:
+                # Degenerate fleet (tenancy only): stations talk straight
+                # to the one shard, no client indirection needed.
+                self.server = self.fleet.shards[0]
+            else:
+                self.server = self.fleet
+        else:
+            self.server = SouthamptonServer(self.sim)
 
         # --- probes ---
         lifetimes = cfg.probe_lifetimes_days or [None] * len(cfg.probe_ids)
@@ -61,7 +113,7 @@ class Deployment:
             self.sim,
             cfg.base,
             self.weather,
-            self.server,
+            self._station_server(cfg.base.name, 0),
             glacier=self.glacier,
             probes=self.probes,
             wired_probe=self.wired_probe,
@@ -74,10 +126,45 @@ class Deployment:
             self.sim,
             cfg.reference,
             self.weather,
-            self.server,
+            self._station_server(cfg.reference.name, 1),
             glacier=self.glacier,
             sensors=make_station_sensor_suite(self.weather, seed=cfg.seed + 1,
                                               with_tilt=cfg.station_tilt_sensors),
+        )
+        self.extras: List[ReferenceStation] = [
+            ReferenceStation(
+                self.sim,
+                extra,
+                self.weather,
+                self._station_server(extra.name, 2 + index),
+                glacier=self.glacier,
+                sensors=make_station_sensor_suite(self.weather,
+                                                  seed=cfg.seed + 2 + index,
+                                                  with_tilt=cfg.station_tilt_sensors),
+            )
+            for index, extra in enumerate(extra_configs)
+        ]
+
+    def _station_server(self, station_name: str, station_index: int):
+        """What a station dials: the server itself, or its fleet client."""
+        if self.fleet is None or self.server is not self.fleet:
+            return self.server
+        cfg = self.config
+        # "static" and "hop" both start where the paper's stations did —
+        # everyone dials *the* Southampton server (shard 0); hop then
+        # steers away by load hints while static stays put.  Round-robin
+        # spreads obliviously from a per-station offset.
+        if cfg.server_policy == "round-robin":
+            home = station_index % len(self.fleet.shards)
+        else:
+            home = 0
+        return FleetClient(
+            self.sim,
+            station_name,
+            self.fleet,
+            policy=cfg.server_policy,
+            home=home,
+            costs=cfg.server_costs,
         )
 
     # ------------------------------------------------------------------
@@ -89,8 +176,8 @@ class Deployment:
 
     @property
     def stations(self):
-        """Both stations, base first."""
-        return (self.base, self.reference)
+        """Every station, base first, then reference, then the extras."""
+        return (self.base, self.reference, *self.extras)
 
     # ------------------------------------------------------------------
     # Convenience queries used by examples and benches

@@ -379,6 +379,11 @@ class Station:
 
     def _comms_session_body(self, local_state: PowerState):
         inc = self.sim.obs.metrics.inc
+        # Against a fleet, re-run the upload-target policy before dialling:
+        # the whole session sticks to the shard chosen here.
+        begin_session = getattr(self.server, "begin_session", None)
+        if begin_session is not None:
+            begin_session()
         try:
             yield self.sim.process(self.modem.connect())
         except LinkDown:
@@ -390,10 +395,20 @@ class Station:
         outcome = "ok"
         effective = local_state
         try:
-            # Upload power state (before data, per Fig 4).
-            yield from self.sync.upload_state(local_state)
+            batched = self.config.batched_sync
+            if batched:
+                # One request: state up, override down, special drained.
+                effective, _override, special, _loads = (
+                    yield from self.sync.batched_sync(local_state)
+                )
+                if special is not None and self.config.special_before_data:
+                    self._execute_special(special)
+            else:
+                # Upload power state (before data, per Fig 4).
+                yield from self.sync.upload_state(local_state)
+                special = None
 
-            if self.config.special_before_data:
+            if not batched and self.config.special_before_data:
                 yield from self._special_step()
 
             # Upload data, file by file.  Ingestion happens per completed
@@ -418,13 +433,19 @@ class Station:
             )
             if result.link_lost:
                 outcome = "link_lost"
+                # A special drained by the batched sync is already on the
+                # station — losing the link afterwards doesn't lose it.
+                if batched and special is not None and not self.config.special_before_data:
+                    self._execute_special(special)
                 return effective
 
-            # Override state (after data, per Fig 4's split placement).
-            effective, _override = yield from self.sync.fetch_override(local_state)
-
-            if not self.config.special_before_data:
-                yield from self._special_step()
+            if not batched:
+                # Override state (after data, per Fig 4's split placement).
+                effective, _override = yield from self.sync.fetch_override(local_state)
+                if not self.config.special_before_data:
+                    yield from self._special_step()
+            elif special is not None and not self.config.special_before_data:
+                self._execute_special(special)
 
             # §VI auto-update: pull any newer published code, verify its
             # checksum, install on match, report the MD5 immediately.
@@ -459,6 +480,10 @@ class Station:
         special = self.server.get_special(self.name)
         if special is None:
             return
+        self._execute_special(special)
+
+    def _execute_special(self, special) -> None:
+        """Run an already-downloaded special and stage its output."""
         output = special.script()
         self.sim.trace.emit(self.name, "special_executed", command=special.command_id)
         self._staged_special_outputs.append(

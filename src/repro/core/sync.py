@@ -16,8 +16,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.comms.link import LinkDown
 from repro.core.power_policy import PowerState
+from repro.sim.events import Interrupt
 from repro.sim.kernel import Simulation
 
 
@@ -65,14 +65,50 @@ class StateSynchronizer:
         try:
             yield self.sim.process(self.modem.send(self.REQUEST_BYTES, label="override"))
             override = self.server.get_override_state(self.station_name)
-        except LinkDown:
-            self.override_fetch_failures += 1
-            self.sim.obs.metrics.inc("sync_override_fetches_total",
-                                     station=self.station_name, result="failed")
-            self.sim.trace.emit(self.station_name, "override_fetch_failed")
+        except Interrupt:
+            raise
+        except Exception as exc:  # noqa: BLE001 - "never raises" means *any* failure
+            self._note_fetch_failure(exc)
             return local_state, None
         self.sim.obs.metrics.inc("sync_override_fetches_total",
                                  station=self.station_name, result="ok")
+        return self._apply(local_state, override), override
+
+    def batched_sync(self, local_state: PowerState):
+        """Process: the fleet's single-request session — upload the local
+        state, fetch the override, and drain one special command in one
+        modem round-trip (``server.sync_session``).
+
+        Never raises, like :meth:`fetch_override`: any failure means the
+        station relies on its local state and skips the drained special.
+        Returns ``(effective_state, override_or_None, special_or_None,
+        loads_or_None)`` — ``loads`` is the fleet's piggybacked per-shard
+        load hint (None from a standalone server).
+        """
+        try:
+            yield self.sim.process(
+                self.modem.send(self.REQUEST_BYTES, label="sync_session")
+            )
+            response = self.server.sync_session(self.station_name, int(local_state))
+        except Interrupt:
+            raise
+        except Exception as exc:  # noqa: BLE001 - same contract as fetch_override
+            self._note_fetch_failure(exc)
+            return local_state, None, None, None
+        self.sim.obs.metrics.inc("sync_override_fetches_total",
+                                 station=self.station_name, result="ok")
+        override = response["override"]
+        effective = self._apply(local_state, override)
+        return effective, override, response["special"], response["loads"]
+
+    def _note_fetch_failure(self, exc: Exception) -> None:
+        self.override_fetch_failures += 1
+        self.sim.obs.metrics.inc("sync_override_fetches_total",
+                                 station=self.station_name, result="failed")
+        self.sim.trace.emit(self.station_name, "override_fetch_failed",
+                            error=type(exc).__name__)
+
+    def _apply(self, local_state: PowerState, override: Optional[int]) -> PowerState:
         effective = clamp_override(local_state, override)
         self.sim.trace.emit(
             self.station_name,
@@ -81,4 +117,4 @@ class StateSynchronizer:
             override=override,
             effective=int(effective),
         )
-        return effective, override
+        return effective

@@ -65,7 +65,8 @@ class FaultEngine:
 
         gprs_windows: Dict[str, List[Tuple[float, float]]] = {}
         probe_windows: Dict[str, List[Tuple[float, float, float]]] = {}
-        server_windows: List[Tuple[float, float]] = []
+        #: shard index (None = whole server side) -> windows
+        server_windows: Dict[Optional[int], List[Tuple[float, float]]] = {}
 
         for fault in self.resolved:
             if fault.kind == "gprs-outage":
@@ -81,7 +82,16 @@ class FaultEngine:
                 probe_windows.setdefault(fault.station, []).append(
                     (fault.start_s, fault.end_s, fault.spec.loss))
             elif fault.kind == "server-outage":
-                server_windows.append((fault.start_s, fault.end_s))
+                shard = fault.spec.server
+                if shard is not None:
+                    fleet = getattr(self.deployment, "fleet", None)
+                    if fleet is None or shard >= len(fleet.shards):
+                        raise ValueError(
+                            f"fault plan {self.plan.name!r} targets server"
+                            f" shard {shard}, but the deployment has"
+                            f" {len(fleet.shards) if fleet else 1} server(s)")
+                server_windows.setdefault(shard, []).append(
+                    (fault.start_s, fault.end_s))
             elif fault.kind == "rtc-reset":
                 station = self._station(fault.station)
                 inject_rtc_fault(sim, fault.station, station.msp.rtc,
@@ -106,10 +116,24 @@ class FaultEngine:
             self.injectors.append(
                 ProbeLossInjector(sim, name, station.probe_links.values(),
                                   windows))
-        if server_windows:
-            self.injectors.append(
-                ServerOutageInjector(sim, self.deployment.server,
-                                     server_windows))
+        fleet = getattr(self.deployment, "fleet", None)
+        for shard, windows in sorted(
+            server_windows.items(), key=lambda item: (item[0] is not None, item[0] or 0)
+        ):
+            if shard is not None:
+                # Per-shard outage: wrap that shard only, labelled by name.
+                target = fleet.shards[shard]
+                self.injectors.append(
+                    ServerOutageInjector(sim, target, windows,
+                                         station=target.name))
+            elif fleet is not None:
+                # Whole-server-side outage against a fleet: every shard
+                # goes dark on the shared windows, announced once.
+                self.injectors.append(
+                    ServerOutageInjector(sim, fleet.shards, windows))
+            else:
+                self.injectors.append(
+                    ServerOutageInjector(sim, self.deployment.server, windows))
 
     # ------------------------------------------------------------------
     def finish(self) -> Optional[InvariantReport]:

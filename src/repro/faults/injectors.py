@@ -38,6 +38,7 @@ TRACE_SOURCE = "faults"
 SERVER_OUTAGE_METHODS = (
     "upload_power_state",
     "get_override_state",
+    "sync_session",
     "upload_data",
     "get_special",
     "get_release",
@@ -147,19 +148,29 @@ class ServerOutageInjector:
     inside a window — indistinguishable, from the station's side, from
     the session dropping mid-call, which is exactly the failure the Fig 4
     handlers (``comms_dropped``, ``override_fetch_failed``) are for.
+
+    Against a fleet, one injector targets one *shard*; ``station`` then
+    carries the shard's name (``"server0"``) on the announcement records
+    so the invariant checker can track each shard's outage separately.  A
+    fleet-wide outage passes every shard as ``server`` (a sequence) with
+    the classic ``"*"`` label — one announcement, all shards dark.
     """
 
     kind = "server-outage"
 
-    def __init__(self, sim: Simulation, server: SouthamptonServer,
-                 windows: Sequence[Window]) -> None:
+    def __init__(self, sim: Simulation, server,
+                 windows: Sequence[Window], station: str = "*") -> None:
         self.sim = sim
-        self.server = server
+        targets: Sequence[SouthamptonServer] = (
+            server if isinstance(server, (list, tuple)) else (server,)
+        )
+        self.servers = list(targets)
         self.windows = sorted(windows)
-        for method_name in SERVER_OUTAGE_METHODS:
-            setattr(server, method_name, self._wrap(getattr(server, method_name)))
+        for target in self.servers:
+            for method_name in SERVER_OUTAGE_METHODS:
+                setattr(target, method_name, self._wrap(getattr(target, method_name)))
         for window in self.windows:
-            _announce(sim, "*", self.kind, window)
+            _announce(sim, station, self.kind, window)
 
     def _in_window(self, time: float) -> bool:
         return any(start <= time < end for start, end in self.windows)

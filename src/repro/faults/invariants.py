@@ -170,6 +170,14 @@ class InvariantChecker:
                 ))
             return
 
+        if kind in ("override_served", "sync_session"):
+            # A server (shard) answering a station after its outage window
+            # proves that shard is back; ``source`` is its name ("server"
+            # standalone, "server0"... in a fleet), which the per-shard
+            # announcements use as their station label.
+            self._resolve("server-outage", source, record.time, "reconnected")
+            return
+
         station_name = source.split(".")[0]
         if "." not in source:
             self._on_station_record(station_name, record)
@@ -177,10 +185,6 @@ class InvariantChecker:
             self._on_power_record(station_name, record)
         elif source.endswith(".gprs") and kind == "connected":
             self._resolve("gprs-outage", station_name, record.time, "reconnected")
-        if kind == "override_applied":
-            # server-outage has no single station; any successful override
-            # round-trip after the window proves the server is back.
-            self._resolve("server-outage", "*", record.time, "reconnected")
 
     # ------------------------------------------------------------------
     # Station-level invariants

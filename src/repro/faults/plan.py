@@ -79,6 +79,10 @@ class FaultSpec:
         of resetting it to 1970.
     energy_j:
         ``battery-drain``: joules withdrawn through the power bus.
+    server:
+        ``server-outage`` only: the index of the fleet shard to take down
+        (``"server<N>"``).  ``None`` keeps the classic behaviour — the
+        whole server side (every shard) goes dark at once.
     """
 
     kind: str
@@ -92,6 +96,7 @@ class FaultSpec:
     recover_after_s: Optional[float] = None
     skew_s: Optional[float] = None
     energy_j: float = 0.0
+    server: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -116,6 +121,11 @@ class FaultSpec:
             raise ValueError(f"probe-loss-spike: loss must be in (0, 1], got {self.loss}")
         if self.kind == "battery-drain" and self.energy_j <= 0:
             raise ValueError("battery-drain: energy_j must be > 0")
+        if self.server is not None:
+            if self.kind != "server-outage":
+                raise ValueError(f"{self.kind}: server targets only apply to server-outage")
+            if self.server < 0:
+                raise ValueError(f"server-outage: server must be >= 0, got {self.server}")
         self.files = tuple(self.files)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -141,6 +151,8 @@ class FaultSpec:
             out["skew_s"] = self.skew_s
         if self.kind == "battery-drain":
             out["energy_j"] = self.energy_j
+        if self.kind == "server-outage" and self.server is not None:
+            out["server"] = self.server
         return out
 
     @classmethod
@@ -148,7 +160,7 @@ class FaultSpec:
         """Build a spec from its dict form, rejecting unknown keys."""
         known = {
             "kind", "station", "at_s", "duration_s", "count", "window",
-            "loss", "files", "recover_after_s", "skew_s", "energy_j",
+            "loss", "files", "recover_after_s", "skew_s", "energy_j", "server",
         }
         unknown = set(raw) - known
         if unknown:
@@ -232,7 +244,11 @@ class FaultPlan:
                 resolved.append(
                     ResolvedFault(
                         kind=spec.kind,
-                        station=spec.station if spec.kind in STATION_KINDS else "*",
+                        station=(
+                            spec.station if spec.kind in STATION_KINDS
+                            else f"server{spec.server}" if spec.server is not None
+                            else "*"
+                        ),
                         start_s=start,
                         end_s=start + duration,
                         spec=spec,

@@ -50,6 +50,13 @@ OverrideItems = Tuple[Tuple[str, Any], ...]
 
 _STATION_FIELDS = frozenset(f.name for f in dataclasses.fields(StationConfig))
 
+#: Deployment-level grid axes: scalar DeploymentConfig fields a sweep may
+#: override directly (fleet shape, policies, tenancy...).  The structured
+#: fields (station configs, weather, fault plans) have their own channels.
+_DEPLOYMENT_FIELDS = frozenset(
+    f.name for f in dataclasses.fields(DeploymentConfig)
+) - {"seed", "base", "reference", "weather", "glacier", "fault_plan"}
+
 
 @dataclasses.dataclass(frozen=True)
 class SweepJob:
@@ -104,10 +111,11 @@ class SweepSpec:
         rules_json = (None if self.alert_rules is None
                       else _canonical_plan(self.alert_rules))
         for overrides in self.grid:
-            unknown = set(overrides) - _STATION_FIELDS
+            unknown = set(overrides) - _STATION_FIELDS - _DEPLOYMENT_FIELDS
             if unknown:
                 raise ValueError(
-                    f"unknown StationConfig field(s) in sweep grid: {sorted(unknown)}"
+                    f"unknown StationConfig/DeploymentConfig field(s)"
+                    f" in sweep grid: {sorted(unknown)}"
                 )
             items: OverrideItems = tuple(sorted(overrides.items()))
             cfg_digest = config_digest(overrides)
@@ -160,9 +168,14 @@ def run_job(job: SweepJob) -> Dict[str, Any]:
     import json
 
     base = StationConfig()
+    deployment_overrides: Dict[str, Any] = {}
     for name, value in job.overrides:
-        setattr(base, name, value)
-    deployment = Deployment(DeploymentConfig(seed=job.seed, base=base))
+        if name in _DEPLOYMENT_FIELDS:
+            deployment_overrides[name] = value
+        else:
+            setattr(base, name, value)
+    deployment = Deployment(DeploymentConfig(seed=job.seed, base=base,
+                                             **deployment_overrides))
     engine = None
     if job.fault_plan_json is not None:
         from repro.faults import apply_fault_plan
@@ -215,13 +228,36 @@ def summarise(deployment: Deployment, days: float) -> Dict[str, Any]:
             "watchdog_cuts": station.msp.watchdog_cuts,
             "skipped_comms_days": station.skipped_comms_days,
         }
-    return {
+    summary = {
         "days": days,
         "events_processed": sim.events_processed,
         "stations": stations,
         "probes_alive": deployment.surviving_probes(),
         "readings_collected": deployment.base.readings_collected,
     }
+    fleet = getattr(deployment, "fleet", None)
+    if fleet is not None:
+        shard_bytes = [shard.received_bytes() for shard in fleet.shards]
+        mean = sum(shard_bytes) / len(shard_bytes) if shard_bytes else 0.0
+        summary["fleet"] = {
+            "servers": len(fleet.shards),
+            "policy": deployment.config.server_policy,
+            "shards": {
+                shard.name: {
+                    "uploads": len(shard.uploads),
+                    "bytes": shard.received_bytes(),
+                }
+                for shard in fleet.shards
+            },
+            "max_shard_bytes": max(shard_bytes) if shard_bytes else 0,
+            "imbalance": round(max(shard_bytes) / mean, 6) if mean else 0.0,
+            "hops": sum(
+                getattr(station.server, "hops", 0)
+                for station in deployment.stations
+            ),
+            "retransfers": fleet.retransfers,
+        }
+    return summary
 
 
 def _record(job: SweepJob, summary: Dict[str, Any]) -> Dict[str, Any]:

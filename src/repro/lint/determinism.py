@@ -53,16 +53,21 @@ def lines_digest(lines: Iterable[str]) -> str:
 
 
 def build_mission(seed: int, fault_plan: Optional[dict] = None,
-                  tie_break: str = "fifo"):
+                  tie_break: str = "fifo",
+                  overrides: Optional[dict] = None):
     """A ready-to-run canonical mission (fault plan armed, policy set).
 
     Shared by the same-seed replay check here and the perturbed-tie
     replay harness (:mod:`repro.lint.tie_replay`), which needs the
     deployment *before* the run to switch on kernel tie diagnostics.
+    ``overrides`` holds extra :class:`DeploymentConfig` kwargs (fleet
+    shape, upload policy, tenancy) so the replay gates cover fleet
+    missions too.
     """
     from repro.core import Deployment, DeploymentConfig
 
-    deployment = Deployment(DeploymentConfig(seed=seed, tie_break=tie_break))
+    deployment = Deployment(DeploymentConfig(seed=seed, tie_break=tie_break,
+                                             **(overrides or {})))
     if fault_plan is not None:
         from repro.faults import apply_fault_plan
 
@@ -72,7 +77,8 @@ def build_mission(seed: int, fault_plan: Optional[dict] = None,
 
 def run_mission(seed: int, days: float,
                 fault_plan: Optional[dict] = None,
-                tie_break: str = "fifo") -> Tuple[str, List[str]]:
+                tie_break: str = "fifo",
+                overrides: Optional[dict] = None) -> Tuple[str, List[str]]:
     """Run one short deployment; return (trace digest, canonical lines).
 
     ``fault_plan`` (a :class:`repro.faults.FaultPlan` dict form) is armed
@@ -80,7 +86,8 @@ def run_mission(seed: int, days: float,
     injection edges and every recovery path the plan provokes.
     ``tie_break`` selects the kernel's same-timestamp ordering policy.
     """
-    deployment = build_mission(seed, fault_plan=fault_plan, tie_break=tie_break)
+    deployment = build_mission(seed, fault_plan=fault_plan, tie_break=tie_break,
+                               overrides=overrides)
     deployment.run_days(days)
     lines = [record_canonical(r) for r in deployment.sim.trace.records]
     return trace_digest(deployment.sim.trace.records), lines
@@ -122,10 +129,13 @@ class DeterminismReport:
 
 
 def check_determinism(seed: int = 0, days: float = 0.5,
-                      fault_plan: Optional[dict] = None) -> DeterminismReport:
+                      fault_plan: Optional[dict] = None,
+                      overrides: Optional[dict] = None) -> DeterminismReport:
     """Run the same mission twice and diff the trace digests."""
-    digest_a, lines_a = run_mission(seed, days, fault_plan=fault_plan)
-    digest_b, lines_b = run_mission(seed, days, fault_plan=fault_plan)
+    digest_a, lines_a = run_mission(seed, days, fault_plan=fault_plan,
+                                    overrides=overrides)
+    digest_b, lines_b = run_mission(seed, days, fault_plan=fault_plan,
+                                    overrides=overrides)
     divergence: Optional[Tuple[int, str, str]] = None
     if digest_a != digest_b:
         for index, (a, b) in enumerate(zip(lines_a, lines_b)):
@@ -154,6 +164,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="mission length in simulated days")
     parser.add_argument("--faults", metavar="PLAN.json", default=None,
                         help="fault plan to arm in both runs (JSON file)")
+    parser.add_argument("--stations", type=int, default=None, metavar="N",
+                        help="total station count (>= 2)")
+    parser.add_argument("--servers", type=int, default=None, metavar="N",
+                        help="server fleet size")
+    parser.add_argument("--server-policy", default=None,
+                        choices=("static", "round-robin", "hop"),
+                        help="station upload-target policy")
     args = parser.parse_args(argv)
     fault_plan = None
     if args.faults is not None:
@@ -161,8 +178,16 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         with open(args.faults, "r", encoding="utf-8") as fh:
             fault_plan = json.load(fh)
+    overrides = {}
+    if args.stations is not None:
+        overrides["extra_stations"] = max(0, args.stations - 2)
+    if args.servers is not None:
+        overrides["servers"] = args.servers
+    if args.server_policy is not None:
+        overrides["server_policy"] = args.server_policy
     report = check_determinism(seed=args.seed, days=args.days,
-                               fault_plan=fault_plan)
+                               fault_plan=fault_plan,
+                               overrides=overrides or None)
     # This module doubles as a CLI entry point; stdout is its interface.
     print(report.summary())  # repro-lint: disable=no-print
     return 0 if report.identical else 1

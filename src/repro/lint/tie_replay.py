@@ -313,6 +313,7 @@ def check_tie_robustness(
     policies: Sequence[str] = DEFAULT_POLICIES,
     fault_plan: Optional[dict] = None,
     mission_factory: Optional[MissionFactory] = None,
+    overrides: Optional[dict] = None,
 ) -> TieReplayReport:
     """Replay one mission under each policy and diff normalized digests.
 
@@ -326,7 +327,8 @@ def check_tie_robustness(
         raise ValueError("need at least two policies (baseline + perturbed)")
     if mission_factory is None:
         def mission_factory(policy: str):
-            return build_mission(seed, fault_plan=fault_plan, tie_break=policy)
+            return build_mission(seed, fault_plan=fault_plan, tie_break=policy,
+                                 overrides=overrides)
     baseline_policy = policies[0]
     baseline_run, baseline_lines = _run_policy(mission_factory, baseline_policy, days)
     runs: List[PolicyRun] = [baseline_run]
@@ -365,6 +367,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(default: %(default)s)")
     parser.add_argument("--faults", metavar="PLAN.json", default=None,
                         help="fault plan to arm in every replay (JSON file)")
+    parser.add_argument("--stations", type=int, default=None, metavar="N",
+                        help="total station count (>= 2)")
+    parser.add_argument("--servers", type=int, default=None, metavar="N",
+                        help="server fleet size")
+    parser.add_argument("--server-policy", default=None,
+                        choices=("static", "round-robin", "hop"),
+                        help="station upload-target policy")
     args = parser.parse_args(argv)
     fault_plan = None
     if args.faults is not None:
@@ -372,9 +381,17 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         with open(args.faults, "r", encoding="utf-8") as fh:
             fault_plan = json.load(fh)
+    overrides = {}
+    if args.stations is not None:
+        overrides["extra_stations"] = max(0, args.stations - 2)
+    if args.servers is not None:
+        overrides["servers"] = args.servers
+    if args.server_policy is not None:
+        overrides["server_policy"] = args.server_policy
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
     report = check_tie_robustness(seed=args.seed, days=args.days,
-                                  policies=policies, fault_plan=fault_plan)
+                                  policies=policies, fault_plan=fault_plan,
+                                  overrides=overrides or None)
     # This module doubles as a CLI entry point; stdout is its interface.
     print(report.format())  # repro-lint: disable=no-print
     return 0 if report.robust else 1

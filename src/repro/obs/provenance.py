@@ -305,6 +305,13 @@ class ProvenanceLedger:
             # Re-transfer after a failed ingest is idempotent; everything
             # else repeating or regressing means the edge feed is broken.
             if rank < prior:
+                if stage == "transferred" and artifact.archived:
+                    # The station's post-upload delete failed, so it sent a
+                    # file the server already archived: data is safe, the
+                    # airtime was wasted.  Counted, not an anomaly.
+                    self.metrics.inc("provenance_edges_total",
+                                     stage="retransferred", cls=artifact.cls)
+                    return
                 self._anomaly(
                     f"backwards edge {artifact.stage}->{stage} for {artifact_id}")
             return

@@ -13,18 +13,25 @@ managed by a server in Southampton" (Section III).  The server:
 
 from repro.server.archive import ScienceArchive
 from repro.server.deployment import CodeRelease, InstallOutcome, verify_and_install
+from repro.server.fleet import ServerFleet, tenant_map
+from repro.server.index import ArchiveIndex
 from repro.server.operations import Alert, OperationsConsole
 from repro.server.server import SouthamptonServer, SpecialCommand
-from repro.server.state_store import PowerStateStore
+from repro.server.state_store import PowerStateStore, Sequencer, TenantStateStore
 
 __all__ = [
     "Alert",
+    "ArchiveIndex",
     "CodeRelease",
     "InstallOutcome",
     "OperationsConsole",
     "PowerStateStore",
     "ScienceArchive",
+    "Sequencer",
+    "ServerFleet",
     "SouthamptonServer",
     "SpecialCommand",
+    "TenantStateStore",
+    "tenant_map",
     "verify_and_install",
 ]

@@ -9,48 +9,62 @@ from the raw uploads exactly as the stations deliver them:
 - **system health**: the paper notes "data collated from the base station
   can provide useful insights into the condition of the system" — battery
   voltage trends, enclosure humidity, snow level against the station frame.
+
+Queries run over each shard's ingest-time :class:`~repro.server.index.
+ArchiveIndex` rather than scanning the raw ``uploads`` list; multi-shard
+buckets are merged by global ingest sequence, so results are byte-identical
+to a single-server full scan of the same uploads.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.gps.dgps import DgpsSolution, solve_all, velocity_series
 from repro.gps.files import GpsReading
-from repro.server.server import SouthamptonServer
+from repro.server.index import ArchiveIndex
 from repro.sim.simtime import DAY
 
 
-class ScienceArchive:
-    """Query layer over a :class:`SouthamptonServer`'s received uploads."""
+def _merged(buckets: Iterable[List[Tuple[int, Any]]]) -> List[Tuple[int, Any]]:
+    """Concatenate per-shard (seq, item) buckets in global arrival order."""
+    buckets = list(buckets)
+    if len(buckets) == 1:
+        return buckets[0]
+    merged = [pair for bucket in buckets for pair in bucket]
+    merged.sort(key=lambda pair: pair[0])
+    return merged
 
-    def __init__(self, server: SouthamptonServer) -> None:
+
+class ScienceArchive:
+    """Query layer over a server's (or a whole fleet's) received uploads."""
+
+    def __init__(self, server: Any) -> None:
         self.server = server
+
+    def _indexes(self) -> Tuple[ArchiveIndex, ...]:
+        shards = getattr(self.server, "shards", None)
+        if shards is None:
+            return (self.server.index,)
+        return tuple(shard.index for shard in shards)
 
     # ------------------------------------------------------------------
     # Raw extraction
     # ------------------------------------------------------------------
     def gps_readings(self, station: str) -> List[GpsReading]:
         """All dGPS readings uploaded by ``station``, time ordered."""
-        readings = [
-            upload.payload
-            for upload in self.server.uploads
-            if upload.station == station
-            and upload.kind == "gps"
-            and isinstance(upload.payload, GpsReading)
-        ]
+        pairs = _merged(index.gps.get(station, []) for index in self._indexes())
+        readings = [reading for _seq, reading in pairs]
         return sorted(readings, key=lambda r: r.start_time)
 
     def probe_series(self, channel: str) -> Dict[int, List[Tuple[float, float]]]:
         """(time, value) series per probe for one sensor channel."""
         series: Dict[int, List[Tuple[float, float]]] = {}
-        for upload in self.server.uploads:
-            if upload.kind != "probes" or not upload.payload:
-                continue
-            readings = upload.payload.get("readings")
+        for _seq, payload in _merged(index.probes for index in self._indexes()):
+            readings = payload.get("readings")
             if not readings:
                 continue
-            probe_id = upload.payload["probe_id"]
+            probe_id = payload["probe_id"]
             for reading in readings:
                 if channel in reading["channels"]:
                     series.setdefault(probe_id, []).append(
@@ -63,10 +77,10 @@ class ScienceArchive:
     def sensor_series(self, station: str, sensor: str) -> List[Tuple[float, float]]:
         """(rtc_hours, value) series for one station sensor channel."""
         out: List[Tuple[float, float]] = []
-        for upload in self.server.uploads:
-            if upload.station != station or upload.kind != "sensors" or not upload.payload:
-                continue
-            for rtc_hours, name, value in upload.payload.get("sensors", []):
+        for _seq, payload in _merged(
+            index.sensors.get(station, []) for index in self._indexes()
+        ):
+            for rtc_hours, name, value in payload.get("sensors", []):
                 if name == sensor:
                     out.append((rtc_hours, value))
         return sorted(out)
@@ -74,10 +88,10 @@ class ScienceArchive:
     def voltage_series(self, station: str) -> List[Tuple[float, float]]:
         """(rtc_hours, volts) battery samples as uploaded daily."""
         out: List[Tuple[float, float]] = []
-        for upload in self.server.uploads:
-            if upload.station != station or upload.kind != "sensors" or not upload.payload:
-                continue
-            out.extend(upload.payload.get("voltages", []))
+        for _seq, payload in _merged(
+            index.sensors.get(station, []) for index in self._indexes()
+        ):
+            out.extend(payload.get("voltages", []))
         return sorted(out)
 
     # ------------------------------------------------------------------
@@ -143,13 +157,29 @@ class ScienceArchive:
         first = min(days) if days else 0
         return [(day - first, volts) for day, volts in sorted(days.items())]
 
-    def battery_declining(self, station: str, window_days: int = 7) -> bool:
-        """Whether the recent daily-minimum trend is downward."""
+    def battery_declining(self, station: str, window_days: int = 7,
+                          min_slope_v_per_day: float = 0.001) -> bool:
+        """Whether the recent daily-minimum trend is downward.
+
+        Fits a least-squares line through the last ``window_days`` daily
+        minima and flags a decline steeper than ``min_slope_v_per_day``.
+        Comparing only the window's endpoints (the old behaviour) let a
+        single noisy sample at either end flip the verdict.
+        """
         minima = self.battery_daily_minima(station)
         if len(minima) < 2:
             return False
         recent = minima[-window_days:]
-        return recent[-1][1] < recent[0][1]
+        n = len(recent)
+        mean_day = sum(day for day, _v in recent) / n
+        mean_volts = sum(volts for _d, volts in recent) / n
+        sxx = sum((day - mean_day) ** 2 for day, _v in recent)
+        if sxx == 0:
+            return False
+        slope = sum(
+            (day - mean_day) * (volts - mean_volts) for day, volts in recent
+        ) / sxx
+        return slope < -min_slope_v_per_day
 
     def snow_burial_risk(self, station: str, frame_height_m: float = 2.0) -> bool:
         """Whether the snow sensor shows the frame close to burial —

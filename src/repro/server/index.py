@@ -1,0 +1,66 @@
+"""Ingest-time archive indexes.
+
+The original :class:`~repro.server.archive.ScienceArchive` answered every
+query with a full scan of the server's unbounded ``uploads`` list — O(N)
+per call, called per station per report.  Each server shard now maintains
+an :class:`ArchiveIndex` that buckets uploads by kind and station *as they
+arrive*, stamped with a fleet-global ingest sequence number so multi-shard
+queries can merge back into the exact single-server arrival order.
+
+Query results are byte-identical to the old scans: the per-bucket lists
+preserve arrival order (the sequence number is the tie-breaker across
+shards), and the archive runs the same filtering/sorting code over them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.gps.files import GpsReading
+
+
+class ArchiveIndex:
+    """Per-shard, per-kind upload buckets plus O(1)-ish byte accounting.
+
+    ``seq`` values come from a fleet-shared sequencer: merging any two
+    shards' buckets by ``seq`` reproduces global arrival order.
+    """
+
+    def __init__(self) -> None:
+        #: station -> [(seq, GpsReading)] in arrival order
+        self.gps: Dict[str, List[Tuple[int, GpsReading]]] = {}
+        #: [(seq, payload)] for probe uploads, arrival order
+        self.probes: List[Tuple[int, Any]] = []
+        #: station -> [(seq, payload)] for sensor uploads, arrival order
+        self.sensors: Dict[str, List[Tuple[int, Any]]] = {}
+        #: (station, kind) -> total payload bytes (retransfers included)
+        self.bytes_by: Dict[Tuple[str, str], int] = {}
+        #: (station, kind) -> payload bytes excluding re-transferred files
+        self.unique_bytes_by: Dict[Tuple[str, str], int] = {}
+
+    def ingest(self, station: str, kind: str, nbytes: int, payload: Any,
+               seq: int, retransfer: bool = False) -> None:
+        """Index one upload under its kind/station buckets."""
+        key = (station, kind)
+        self.bytes_by[key] = self.bytes_by.get(key, 0) + nbytes
+        if not retransfer:
+            self.unique_bytes_by[key] = self.unique_bytes_by.get(key, 0) + nbytes
+        if kind == "gps" and isinstance(payload, GpsReading):
+            self.gps.setdefault(station, []).append((seq, payload))
+        elif kind == "probes" and payload:
+            self.probes.append((seq, payload))
+        elif kind == "sensors" and payload:
+            self.sensors.setdefault(station, []).append((seq, payload))
+
+    def total_bytes(self, station: Optional[str] = None, kind: Optional[str] = None,
+                    unique: bool = False) -> int:
+        """Sum the byte counters, optionally filtered (no upload scan)."""
+        table = self.unique_bytes_by if unique else self.bytes_by
+        if station is not None and kind is not None:
+            return table.get((station, kind), 0)
+        return sum(
+            value
+            for (upload_station, upload_kind), value in table.items()
+            if (station is None or upload_station == station)
+            and (kind is None or upload_kind == kind)
+        )

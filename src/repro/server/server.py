@@ -5,16 +5,24 @@ reaching the server belong to the station's modem session, not to the
 server itself.  Station code must only call these while its GPRS session is
 up — the clients in :mod:`repro.core.sync` and :mod:`repro.core.station`
 enforce that.
+
+A server can run standalone (the paper's deployment) or as one shard of a
+:class:`~repro.server.fleet.ServerFleet`: shards share the control plane
+(power states, special queues, releases, id sequencers) but keep their own
+data-plane archives, so a station may upload to any shard and still see
+one coherent service.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.server.deployment import CodeRelease
-from repro.server.state_store import PowerStateStore
+from repro.server.index import ArchiveIndex
+from repro.server.state_store import PowerStateStore, Sequencer
 from repro.sim.kernel import Simulation
+from repro.sim.simtime import DAY
 
 
 @dataclass
@@ -40,19 +48,54 @@ class DataUpload:
     nbytes: int
     kind: str
     payload: Any = None
+    name: Optional[str] = None
+
+
+#: How far back :meth:`SouthamptonServer.recent_load` looks when computing
+#: the load hint piggybacked on responses for the station-side hop policy.
+LOAD_WINDOW_S = DAY
 
 
 class SouthamptonServer:
     """State sync + data ingest + special commands + code releases."""
 
-    def __init__(self, sim: Simulation) -> None:
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str = "server",
+        *,
+        power_states: Optional[Any] = None,
+        specials: Optional[Dict[str, List[SpecialCommand]]] = None,
+        releases: Optional[Dict[str, CodeRelease]] = None,
+        command_ids: Optional[Sequencer] = None,
+        ingest_seq: Optional[Sequencer] = None,
+        seen_names: Optional[set] = None,
+    ) -> None:
         self.sim = sim
-        self.power_states = PowerStateStore()
+        self.name = name
+        self.power_states = power_states if power_states is not None else PowerStateStore()
         self.uploads: List[DataUpload] = []
-        self._specials: Dict[str, List[SpecialCommand]] = {}
-        self._next_command_id = 1
-        self.releases: Dict[str, CodeRelease] = {}
+        self.index = ArchiveIndex()
+        self._specials: Dict[str, List[SpecialCommand]] = (
+            specials if specials is not None else {}
+        )
+        self._command_ids = command_ids if command_ids is not None else Sequencer()
+        self._ingest_seq = ingest_seq if ingest_seq is not None else Sequencer()
+        self.releases: Dict[str, CodeRelease] = releases if releases is not None else {}
         self.reported_checksums: List[Tuple[float, str, str, str]] = []
+        #: Back-reference set by :class:`~repro.server.fleet.ServerFleet`.
+        self.fleet: Optional[Any] = None
+        # Shared across a fleet: a re-upload is a retransfer no matter
+        # which shard first archived the file.
+        self._seen_names: set = seen_names if seen_names is not None else set()
+        self.retransfers = 0
+        self.state_uploads = 0
+        self._load_events: List[Tuple[float, int]] = []
+        self._load_start = 0
+        self._load_total = 0
+        # The standalone server keeps its historical label sets (and trace
+        # source "server") byte-for-byte; only fleet shards add the label.
+        self._metric_labels: Dict[str, str] = {} if name == "server" else {"server": name}
 
     # ------------------------------------------------------------------
     # Power-state sync (Section III)
@@ -60,13 +103,38 @@ class SouthamptonServer:
     def upload_power_state(self, station: str, state: int) -> None:
         """A station reports its locally-computed power state."""
         self.power_states.upload(station, state, time=self.sim.now)
-        self.sim.trace.emit("server", "power_state_upload", station=station, state=state)
+        self.state_uploads += 1
+        self.sim.trace.emit(self.name, "power_state_upload", station=station, state=state)
 
     def get_override_state(self, station: str) -> Optional[int]:
         """The min-rule override for ``station`` (None if nothing known)."""
         override = self.power_states.override_for(station)
-        self.sim.trace.emit("server", "override_served", station=station, override=override)
+        self.sim.trace.emit(self.name, "override_served", station=station, override=override)
         return override
+
+    def sync_session(self, station: str, state: int) -> Dict[str, Any]:
+        """One batched request: upload state, fetch override, drain a special.
+
+        The paper's stations spend three modem round-trips per contact on
+        state sync alone; at fleet scale that is the dominant server load,
+        so this endpoint folds them into a single request.  The response
+        piggybacks fleet ``loads`` hints (None when standalone) that feed
+        the station-side hop policy.
+        """
+        self.upload_power_state(station, state)
+        override = self.get_override_state(station)
+        special = self.get_special(station)
+        loads = self.fleet.load_hints() if self.fleet is not None else None
+        self.sim.trace.emit(
+            self.name, "sync_session",
+            station=station, state=state, override=override,
+            special=special is not None,
+        )
+        self.sim.obs.metrics.inc(
+            "server_sync_sessions_total", station=station, **self._metric_labels
+        )
+        return {"server": self.name, "override": override, "special": special,
+                "loads": loads}
 
     # ------------------------------------------------------------------
     # Data ingest
@@ -78,27 +146,63 @@ class SouthamptonServer:
         ``name`` (the station-side file name) marks a *tracked* artifact
         reaching the archive; nameless uploads (priority summaries,
         ad-hoc blobs) carry derived data and stay outside the provenance
-        ledger.
+        ledger.  A named file seen before (the station's delete failed, so
+        it re-uploaded) is a *retransfer*: it is archived again but kept
+        out of the unique-byte accounting and the provenance "archived"
+        stream, which treats a second archive of one artifact as an anomaly.
         """
+        retransfer = False
+        if name is not None:
+            seen_key = (station, name)
+            retransfer = seen_key in self._seen_names
+            self._seen_names.add(seen_key)
         self.uploads.append(
             DataUpload(station=station, time=self.sim.now, nbytes=nbytes, kind=kind,
-                       payload=payload)
+                       payload=payload, name=name)
         )
+        self.index.ingest(station=station, kind=kind, nbytes=nbytes, payload=payload,
+                          seq=self._ingest_seq.next(), retransfer=retransfer)
+        self._load_events.append((self.sim.now, nbytes))
+        self._load_total += nbytes
         metrics = self.sim.obs.metrics
-        metrics.inc("server_uploads_total", station=station, kind=kind)
-        metrics.inc("server_upload_bytes_total", nbytes, station=station, kind=kind)
-        if name is not None:
+        metrics.inc("server_uploads_total", station=station, kind=kind,
+                    **self._metric_labels)
+        metrics.inc("server_upload_bytes_total", nbytes, station=station, kind=kind,
+                    **self._metric_labels)
+        if retransfer:
+            self.retransfers += 1
+            metrics.inc("server_retransfers_total", station=station, kind=kind,
+                        **self._metric_labels)
+            self.sim.trace.emit("prov", "retransferred", station=station,
+                                file=name, file_kind=kind, bytes=nbytes)
+        elif name is not None:
             self.sim.trace.emit("prov", "archived", station=station,
                                 file=name, file_kind=kind, bytes=nbytes)
+        if self.fleet is not None or self.name != "server":
+            metrics.set_gauge("server_load", self.recent_load(), server=self.name)
 
-    def received_bytes(self, station: Optional[str] = None, kind: Optional[str] = None) -> int:
-        """Total payload received, optionally filtered."""
-        return sum(
-            upload.nbytes
-            for upload in self.uploads
-            if (station is None or upload.station == station)
-            and (kind is None or upload.kind == kind)
-        )
+    def received_bytes(self, station: Optional[str] = None, kind: Optional[str] = None,
+                       unique: bool = False) -> int:
+        """Total payload received, optionally filtered.
+
+        ``unique=True`` excludes re-transferred files, i.e. counts each
+        tracked artifact's bytes once no matter how many delete-failure
+        retries it took to get them off the station.
+        """
+        return self.index.total_bytes(station=station, kind=kind, unique=unique)
+
+    def recent_load(self) -> int:
+        """Payload bytes received in the trailing :data:`LOAD_WINDOW_S`.
+
+        This is the hint a shard advertises to hopping stations; a rolling
+        sum so the cost stays O(evicted events), not O(history).
+        """
+        cutoff = self.sim.now - LOAD_WINDOW_S
+        events = self._load_events
+        while self._load_start < len(events) and events[self._load_start][0] < cutoff:
+            self._load_total -= events[self._load_start][1]
+            self._load_start += 1
+        return self._load_total
 
     # ------------------------------------------------------------------
     # Special commands (Section VI)
@@ -106,9 +210,8 @@ class SouthamptonServer:
     def stage_special(self, station: str, script: Callable[[], str]) -> int:
         """Queue a one-shot command for the station's next contact."""
         command = SpecialCommand(
-            command_id=self._next_command_id, script=script, staged_at=self.sim.now
+            command_id=self._command_ids.next(), script=script, staged_at=self.sim.now
         )
-        self._next_command_id += 1
         self._specials.setdefault(station, []).append(command)
         return command.command_id
 
@@ -140,7 +243,7 @@ class SouthamptonServer:
         """
         self.reported_checksums.append((self.sim.now, station, release_name, md5))
         self.sim.trace.emit(
-            "server", "checksum_reported", station=station, release=release_name, md5=md5
+            self.name, "checksum_reported", station=station, release=release_name, md5=md5
         )
 
     def last_checksum_report(self, release_name: str) -> Optional[Tuple[float, str, str, str]]:

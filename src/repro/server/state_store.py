@@ -11,7 +11,7 @@ here — the server is deliberately simple.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 
 @dataclass
@@ -20,6 +20,24 @@ class StateReport:
 
     state: int
     reported_at: float
+
+
+class Sequencer:
+    """A shared monotonically-increasing id source.
+
+    Fleet shards share one sequencer per id space (special-command ids,
+    archive ingest order) so ids stay unique and totally ordered no matter
+    which shard a station happens to talk to.
+    """
+
+    def __init__(self, start: int = 1) -> None:
+        self._next = start
+
+    def next(self) -> int:
+        """The next id (monotonically increasing from ``start``)."""
+        value = self._next
+        self._next += 1
+        return value
 
 
 class PowerStateStore:
@@ -62,3 +80,58 @@ class PowerStateStore:
     def known_stations(self) -> Tuple[str, ...]:
         """Stations that have ever reported."""
         return tuple(sorted(self._reports))
+
+
+class TenantStateStore:
+    """Per-tenant min-rule state, behind the PowerStateStore surface.
+
+    The single-server deployment applies the Section III minimum across
+    *every* station; a multi-tenant fleet must not let one tenant's dying
+    station throttle another tenant's healthy one.  ``tenant_of`` maps a
+    station name to its tenant key; each tenant gets its own
+    :class:`PowerStateStore` and the min rule runs within the tenant only.
+    A manual override still reaches everyone (operators act fleet-wide).
+    """
+
+    def __init__(self, tenant_of: Callable[[str], str]) -> None:
+        self._tenant_of = tenant_of
+        self._tenants: Dict[str, PowerStateStore] = {}
+        self.manual_override: Optional[int] = None
+
+    def _store(self, station: str) -> PowerStateStore:
+        tenant = self._tenant_of(station)
+        store = self._tenants.get(tenant)
+        if store is None:
+            store = self._tenants[tenant] = PowerStateStore()
+        return store
+
+    def upload(self, station: str, state: int, time: float) -> None:
+        """Record a station's state in its tenant's store."""
+        self._store(station).upload(station, state, time)
+
+    def report_for(self, station: str) -> Optional[StateReport]:
+        """The last report from ``station``, if any."""
+        return self._store(station).report_for(station)
+
+    def set_manual_override(self, state: Optional[int]) -> None:
+        """Operator override; reaches every tenant (``None`` clears it)."""
+        if state is not None and not 0 <= state <= 3:
+            raise ValueError(f"power state must be 0-3, got {state}")
+        self.manual_override = state
+        for store in self._tenants.values():
+            store.set_manual_override(state)
+
+    def override_for(self, station: str) -> Optional[int]:
+        """The min-rule override within ``station``'s tenant only."""
+        store = self._store(station)
+        store.set_manual_override(self.manual_override)
+        return store.override_for(station)
+
+    def known_stations(self) -> Tuple[str, ...]:
+        """Stations that have ever reported, across every tenant."""
+        names = [s for store in self._tenants.values() for s in store.known_stations()]
+        return tuple(sorted(names))
+
+    def tenants(self) -> Tuple[str, ...]:
+        """Tenant keys that have at least one report."""
+        return tuple(sorted(self._tenants))

@@ -70,6 +70,70 @@ class TestUploadAndFetch:
         assert override is None
         assert sync.override_fetch_failures == 1
 
+    def test_fetch_failure_on_non_linkdown_exception(self):
+        """The "never raises" contract covers *any* server-side failure,
+        not just LinkDown — a malformed response or a server bug must
+        degrade to local state exactly like a dead link."""
+        sim, server, modem, sync = make_rig()
+        connected(sim, modem)
+
+        def broken(station):
+            raise KeyError("malformed override table")
+
+        server.get_override_state = broken
+
+        def session(sim):
+            result = yield from sync.fetch_override(PowerState.S2)
+            return result
+
+        proc = sim.process(session(sim))
+        sim.run(until=sim.now + HOUR)
+        effective, override = proc.value
+        assert effective is PowerState.S2
+        assert override is None
+        assert sync.override_fetch_failures == 1
+        failures = sim.trace.select(kind="override_fetch_failed")
+        assert failures and failures[-1].detail["error"] == "KeyError"
+
+    def test_batched_sync_failure_falls_back_to_local(self):
+        """The batched endpoint honours the same never-raises contract."""
+        sim, server, modem, sync = make_rig()
+        connected(sim, modem)
+
+        def broken(station, state):
+            raise RuntimeError("shard crashed mid-request")
+
+        server.sync_session = broken
+
+        def session(sim):
+            result = yield from sync.batched_sync(PowerState.S2)
+            return result
+
+        proc = sim.process(session(sim))
+        sim.run(until=sim.now + HOUR)
+        effective, override, special, loads = proc.value
+        assert effective is PowerState.S2
+        assert override is None and special is None and loads is None
+        assert sync.override_fetch_failures == 1
+
+    def test_batched_sync_applies_min_rule(self):
+        sim, server, modem, sync = make_rig()
+        connected(sim, modem)
+        server.upload_power_state("reference", 1)
+
+        def session(sim):
+            result = yield from sync.batched_sync(PowerState.S3)
+            return result
+
+        proc = sim.process(session(sim))
+        sim.run(until=sim.now + HOUR)
+        effective, override, special, loads = proc.value
+        assert override == 1
+        assert effective is PowerState.S1
+        assert special is None
+        # The server recorded this station's state from the same request.
+        assert server.power_states.report_for("base").state == 3
+
     def test_manual_override_respected_but_floored(self):
         sim, server, modem, sync = make_rig()
         connected(sim, modem)

@@ -93,6 +93,35 @@ class TestHealthMonitoring:
         archive = ScienceArchive(deployment.server)
         assert archive.battery_declining("base")
 
+    def _minima_archive(self, daily_minima):
+        """An archive whose daily voltage minima are exactly the given list."""
+        from repro.server.server import SouthamptonServer
+        from repro.sim import Simulation
+
+        sim = Simulation(seed=0)
+        server = SouthamptonServer(sim)
+        voltages = [(day * 24.0 + 6.0, volts)
+                    for day, volts in enumerate(daily_minima)]
+        server.upload_data("base", 1000, kind="sensors",
+                           payload={"voltages": voltages})
+        return ScienceArchive(server)
+
+    def test_noisy_but_flat_trend_not_flagged(self):
+        """Symmetric noise with a slightly-low last sample: the endpoint
+        comparison the old code used would flag this; the least-squares
+        fit sees a flat trend."""
+        archive = self._minima_archive(
+            [12.0, 11.99, 12.01, 11.99, 12.01, 11.99, 11.995])
+        assert not archive.battery_declining("base")
+
+    def test_spike_at_endpoint_does_not_mask_decline(self):
+        """A genuinely declining battery whose final sample spikes high:
+        endpoint comparison reads 'recovered'; the fit still sees the
+        10 mV/day slide underneath."""
+        archive = self._minima_archive(
+            [12.0, 11.99, 11.98, 11.97, 11.96, 11.95, 12.01])
+        assert archive.battery_declining("base")
+
     def test_healthy_station_not_flagged(self, week):
         _deployment, archive = week
         # September with wind + solar: no monotone decline expected.

@@ -86,6 +86,41 @@ class TestServerEndpoints:
         assert server.received_bytes(station="base") == 105_000
         assert server.received_bytes(kind="gps") == 190_000
 
+    def test_upload_persists_file_name(self, sim, server):
+        server.upload_data("base", 1000, kind="gps", name="gps/0600.txt")
+        assert server.uploads[-1].name == "gps/0600.txt"
+
+    def test_retransfer_excluded_from_unique_bytes(self, sim, server):
+        """A delete-failure re-upload is archived again, but the artifact's
+        bytes count once in the unique accounting (the old code double-
+        counted them, inflating delivered-data stats)."""
+        server.upload_data("base", 4000, kind="gps", name="gps/0600.txt")
+        server.upload_data("base", 4000, kind="gps", name="gps/0600.txt")
+        server.upload_data("base", 2500, kind="gps", name="gps/1200.txt")
+        assert server.retransfers == 1
+        assert server.received_bytes(station="base") == 10_500
+        assert server.received_bytes(station="base", unique=True) == 6_500
+
+    def test_retransfer_is_not_a_second_archival(self, sim, server):
+        """The provenance ledger treats a second 'archived' edge for one
+        artifact as an anomaly; a retransfer must emit 'retransferred'."""
+        server.upload_data("base", 4000, kind="gps", name="gps/0600.txt")
+        server.upload_data("base", 4000, kind="gps", name="gps/0600.txt")
+        archived = sim.trace.select(source="prov", kind="archived")
+        retrans = sim.trace.select(source="prov", kind="retransferred")
+        assert len(archived) == 1
+        assert len(retrans) == 1
+        assert retrans[0].detail["file"] == "gps/0600.txt"
+
+    def test_sync_session_batches_the_three_calls(self, sim, server):
+        server.upload_power_state("reference", 1)
+        marker = server.stage_special("base", lambda: "ok")
+        response = server.sync_session("base", 3)
+        assert response["override"] == 1
+        assert response["special"].command_id == marker
+        assert response["loads"] is None  # standalone: no fleet hints
+        assert server.power_states.report_for("base").state == 3
+
     def test_special_commands_fifo_and_one_shot(self, sim, server):
         first = server.stage_special("base", lambda: "one")
         second = server.stage_special("base", lambda: "two")
